@@ -1,0 +1,167 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each benchmark
+// runs the full experiment per iteration and reports the figure's
+// headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the harness and reprints the reproduction numbers.
+// Fig 15's oracle makes it the heaviest benchmark (it simulates every
+// swept thread count for all twelve workloads).
+package main
+
+import (
+	"testing"
+
+	"fdt/internal/core"
+	"fdt/internal/experiments"
+	"fdt/internal/machine"
+	"fdt/internal/workloads"
+)
+
+// benchOptions uses the reduced sweep that fdtreport -fast uses; the
+// shapes are identical to the full 1..32 sweep.
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.SweepThreads = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32}
+	return o
+}
+
+func BenchmarkTable1MachineBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		machine.MustNew(machine.DefaultConfig())
+	}
+}
+
+func BenchmarkTable2WorkloadBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, info := range workloads.All() {
+			m := machine.MustNew(machine.DefaultConfig())
+			info.Factory(m)
+		}
+	}
+}
+
+func BenchmarkFig02PageMineSweep(b *testing.B) {
+	var f experiments.Fig02
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig02(benchOptions())
+	}
+	b.ReportMetric(float64(f.Curve.MinThreads), "min-threads")
+	last := f.Curve.Points[len(f.Curve.Points)-1]
+	b.ReportMetric(last.NormTime, "norm-time@32")
+}
+
+func BenchmarkFig04EDSweep(b *testing.B) {
+	var f experiments.Fig04
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig04(benchOptions())
+	}
+	b.ReportMetric(float64(f.SaturationThreads()), "saturation-threads")
+	b.ReportMetric(100*f.Curve.Points[0].BusUtil, "bu1-pct")
+}
+
+func BenchmarkFig08SAT(b *testing.B) {
+	var f experiments.Fig08
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig08(benchOptions())
+	}
+	for _, p := range f.Panels {
+		b.ReportMetric(p.SAT.OverMinPct, p.Curve.Workload+"-over-min-pct")
+	}
+}
+
+func BenchmarkFig09PageSizeSweep(b *testing.B) {
+	var f experiments.Fig09
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig09(benchOptions())
+	}
+	b.ReportMetric(float64(f.BestThreads[0]), "best@1KB")
+	b.ReportMetric(float64(f.BestThreads[len(f.BestThreads)-1]), "best@25KB")
+}
+
+func BenchmarkFig10SATAdapt(b *testing.B) {
+	var f experiments.Fig10
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig10(benchOptions())
+	}
+	b.ReportMetric(f.SATSmall.OverMinPct, "2.5KB-over-min-pct")
+	b.ReportMetric(f.SATLarge.OverMinPct, "10KB-over-min-pct")
+}
+
+func BenchmarkFig12BAT(b *testing.B) {
+	var f experiments.Fig12
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig12(benchOptions())
+	}
+	for _, p := range f.Panels {
+		b.ReportMetric(p.PowerSavingPct, p.Curve.Workload+"-power-saving-pct")
+	}
+}
+
+func BenchmarkFig13BATAdapt(b *testing.B) {
+	var f experiments.Fig13
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig13(benchOptions())
+	}
+	b.ReportMetric(float64(chosen(f.BATHalf.Run)), "threads@0.5x")
+	b.ReportMetric(float64(chosen(f.BATDouble.Run)), "threads@2x")
+}
+
+func BenchmarkFig14Combined(b *testing.B) {
+	var f experiments.Fig14
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig14(benchOptions())
+	}
+	b.ReportMetric(f.GmeanTime, "gmean-norm-time")
+	b.ReportMetric(f.GmeanPower, "gmean-norm-power")
+}
+
+func BenchmarkFig15Oracle(b *testing.B) {
+	var f experiments.Fig15
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig15(benchOptions())
+	}
+	b.ReportMetric(f.GmeanFDTTime, "fdt-gmean-time")
+	b.ReportMetric(f.GmeanOracleTime, "oracle-gmean-time")
+	b.ReportMetric(f.GmeanFDTPower, "fdt-gmean-power")
+	b.ReportMetric(f.GmeanOraclePwr, "oracle-gmean-power")
+}
+
+func BenchmarkAblations(b *testing.B) {
+	var abl []experiments.Ablation
+	for i := 0; i < b.N; i++ {
+		abl = experiments.RunAblations(benchOptions())
+	}
+	// Surface the headline ablation: hill-climb training cost vs FDT's.
+	for _, a := range abl {
+		for _, r := range a.Rows {
+			if r.Config == "hill-climb" && r.Workload == "bscholes" {
+				b.ReportMetric(float64(r.TrainIters), "hillclimb-train-iters")
+			}
+			if r.Config == "FDT (SAT+BAT)" && r.Workload == "bscholes" {
+				b.ReportMetric(float64(r.TrainIters), "fdt-train-iters")
+			}
+		}
+	}
+}
+
+// chosen extracts a single-kernel run's team size.
+func chosen(r core.RunResult) int {
+	if len(r.Kernels) == 0 {
+		return 0
+	}
+	return r.Kernels[0].Decision.Threads
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: events
+// per second of the discrete-event kernel driving the full memory
+// system — useful when tuning the simulator itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := machine.DefaultConfig()
+		info, _ := workloads.ByName("ed")
+		fac := func(m *machine.Machine) core.Workload { return info.Factory(m) }
+		core.RunPolicy(cfg, fac, core.Static{N: 8})
+	}
+}

@@ -1,0 +1,100 @@
+// Command fdtreport regenerates the paper's evaluation — every table
+// and figure — on the simulated machine and prints text renditions.
+// With -csv it also writes each figure's series as CSV for plotting.
+//
+// Usage:
+//
+//	fdtreport                 # everything (minutes: Fig 15 runs the oracle)
+//	fdtreport -only fig14     # one experiment
+//	fdtreport -fast           # coarser sweeps for a quick look
+//	fdtreport -csv out/       # also write out/fig2.csv, out/fig14.csv, ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fdt/internal/experiments"
+)
+
+func main() {
+	var (
+		only   = flag.String("only", "", "run a single experiment: table1, table2, fig2, fig4, fig8, fig9, fig10, fig12, fig13, fig14, fig15, smt, trainingcost, ablations")
+		fast   = flag.Bool("fast", false, "sweep a reduced set of thread counts")
+		csvDir = flag.String("csv", "", "directory to write per-figure CSV files into")
+	)
+	flag.Parse()
+
+	o := experiments.DefaultOptions()
+	if *fast {
+		o.SweepThreads = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32}
+	}
+
+	runners := []struct {
+		name string
+		run  func() (text, csv string)
+	}{
+		{"table1", func() (string, string) { return experiments.Table1(o.Cfg), "" }},
+		{"table2", func() (string, string) { return experiments.Table2(), "" }},
+		{"fig2", func() (string, string) { f := experiments.RunFig02(o); return f.String(), f.CSV() }},
+		{"fig4", func() (string, string) { f := experiments.RunFig04(o); return f.String(), f.CSV() }},
+		{"fig8", func() (string, string) { f := experiments.RunFig08(o); return f.String(), f.CSV() }},
+		{"fig9", func() (string, string) { f := experiments.RunFig09(o); return f.String(), f.CSV() }},
+		{"fig10", func() (string, string) { f := experiments.RunFig10(o); return f.String(), f.CSV() }},
+		{"fig12", func() (string, string) { f := experiments.RunFig12(o); return f.String(), f.CSV() }},
+		{"fig13", func() (string, string) { f := experiments.RunFig13(o); return f.String(), f.CSV() }},
+		{"fig14", func() (string, string) { f := experiments.RunFig14(o); return f.String(), f.CSV() }},
+		{"fig15", func() (string, string) { f := experiments.RunFig15(o); return f.String(), f.CSV() }},
+		{"smt", func() (string, string) {
+			s := experiments.RunSMT(o)
+			return s.String(), s.CSV()
+		}},
+		{"trainingcost", func() (string, string) {
+			t := experiments.RunTrainingCost(o)
+			return t.String(), t.CSV()
+		}},
+		{"ablations", func() (string, string) {
+			var texts, csvs []string
+			for _, a := range experiments.RunAblations(o) {
+				texts = append(texts, a.String())
+				csvs = append(csvs, a.CSV())
+			}
+			return strings.Join(texts, "\n"), strings.Join(csvs, "")
+		}},
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "fdtreport:", err)
+			os.Exit(1)
+		}
+	}
+
+	want := strings.ToLower(strings.TrimSpace(*only))
+	found := false
+	for _, r := range runners {
+		if want != "" && r.name != want {
+			continue
+		}
+		found = true
+		start := time.Now()
+		text, csv := r.run()
+		fmt.Println(text)
+		fmt.Printf("  [%s took %.1fs]\n\n", r.name, time.Since(start).Seconds())
+		if *csvDir != "" && csv != "" {
+			path := filepath.Join(*csvDir, r.name+".csv")
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "fdtreport:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "fdtreport: unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

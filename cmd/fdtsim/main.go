@@ -1,0 +1,114 @@
+// Command fdtsim runs one workload on the simulated 32-core CMP under
+// one threading policy and prints a report: execution time, average
+// active cores (the paper's power metric), per-kernel FDT decisions
+// and the verification verdict.
+//
+// Usage:
+//
+//	fdtsim -workload pagemine -policy sat+bat
+//	fdtsim -workload ed -policy static -threads 32
+//	fdtsim -workload convert -policy bat -bandwidth 0.5
+//	fdtsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "pagemine", "workload name (see -list)")
+		policy    = flag.String("policy", "sat+bat", "threading policy: sat, bat, sat+bat, static")
+		threads   = flag.Int("threads", 0, "thread count for -policy static (0 = all cores)")
+		cores     = flag.Int("cores", 32, "cores on the simulated chip")
+		bandwidth = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
+		verify    = flag.Bool("verify", true, "verify the workload's computed results")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		dumpCtrs  = flag.Bool("counters", false, "dump the machine's counter set")
+		trace     = flag.Bool("trace", false, "sample the run and print bus/active-core sparklines")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-12s %-28s %s\n", "NAME", "CLASS", "PROBLEM", "INPUT")
+		for _, info := range workloads.All() {
+			fmt.Printf("%-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
+		}
+		return
+	}
+
+	info, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fdtsim: unknown workload %q (try -list)\n", *workload)
+		os.Exit(2)
+	}
+	pol, err := parsePolicy(*policy, *threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdtsim:", err)
+		os.Exit(2)
+	}
+
+	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
+	m := machine.MustNew(cfg)
+	var samples *machine.SampleLog
+	if *trace {
+		samples = m.StartSampler(0)
+	}
+	w := info.Factory(m)
+	res := core.NewController(pol).Run(m, w)
+
+	fmt.Printf("workload   %s (%s)\n", res.Workload, info.Class)
+	fmt.Printf("policy     %s\n", res.Policy)
+	fmt.Printf("machine    %d cores, %.2gx bandwidth\n", *cores, *bandwidth)
+	fmt.Printf("exec time  %d cycles\n", res.TotalCycles)
+	fmt.Printf("power      %.2f avg active cores\n", res.AvgActiveCores)
+	fmt.Printf("bus busy   %d cycles (%.1f%% of run)\n",
+		res.BusBusyCycles, 100*float64(res.BusBusyCycles)/float64(res.TotalCycles))
+	fmt.Printf("avgthreads %.1f\n", res.AvgThreads())
+	for _, k := range res.Kernels {
+		d := k.Decision
+		fmt.Printf("kernel %-22s threads=%-3d pcs=%-3d pbw=%-3d csfrac=%.3f%% bu1=%.2f%% train=%d iters (%d cyc) total=%d cyc\n",
+			k.Kernel, d.Threads, d.PCS, d.PBW, 100*d.CSFraction, 100*d.BusUtil1, k.TrainIters, k.TrainCycles, k.Cycles)
+	}
+
+	if *dumpCtrs {
+		fmt.Printf("counters   %s\n", m.Ctrs)
+	}
+	if samples != nil {
+		fmt.Println(samples)
+	}
+
+	if *verify {
+		if v, ok := w.(workloads.Verifier); ok {
+			if err := v.Verify(); err != nil {
+				fmt.Printf("verify     FAIL: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println("verify     ok")
+		} else {
+			fmt.Println("verify     (workload has no verifier)")
+		}
+	}
+}
+
+func parsePolicy(name string, threads int) (core.Policy, error) {
+	switch strings.ToLower(name) {
+	case "sat":
+		return core.SAT{}, nil
+	case "bat":
+		return core.BAT{}, nil
+	case "sat+bat", "combined", "fdt":
+		return core.Combined{}, nil
+	case "static":
+		return core.Static{N: threads}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want sat, bat, sat+bat or static)", name)
+	}
+}

@@ -1,0 +1,119 @@
+// Command fdtsweep sweeps a workload across static thread counts and
+// prints the baseline curve of the paper's per-workload figures —
+// normalized execution time (and bus utilization) versus thread
+// count — plus the point each feedback policy picks.
+//
+// Usage:
+//
+//	fdtsweep -workload ed
+//	fdtsweep -workload pagemine -threads 1,2,4,8,16,32
+//	fdtsweep -workload convert -bandwidth 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/stats"
+	"fdt/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "ed", "workload name")
+		threadStr = flag.String("threads", "", "comma-separated static thread counts (default 1..cores)")
+		cores     = flag.Int("cores", 32, "cores on the simulated chip")
+		bandwidth = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
+		policies  = flag.String("policies", "sat,bat,sat+bat", "feedback policies to place on the curve")
+	)
+	flag.Parse()
+
+	info, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fdtsweep: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
+	factory := func(m *machine.Machine) core.Workload { return info.Factory(m) }
+
+	counts, err := parseThreads(*threadStr, *cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+		os.Exit(2)
+	}
+
+	sweep := core.Sweep(cfg, factory, counts)
+	base := sweep[0].TotalCycles // normalize to the 1-thread run
+	fmt.Printf("# %s on %d cores, %.2gx bandwidth (time normalized to %d threads)\n",
+		info.Name, *cores, *bandwidth, counts[0])
+	fmt.Printf("%8s %12s %10s %10s %10s\n", "threads", "cycles", "norm.time", "bus.util", "power")
+	times := make([]uint64, len(sweep))
+	for i, r := range sweep {
+		times[i] = r.TotalCycles
+		fmt.Printf("%8d %12d %10.3f %9.1f%% %10.2f\n",
+			counts[i], r.TotalCycles,
+			float64(r.TotalCycles)/float64(base),
+			100*float64(r.BusBusyCycles)/float64(r.TotalCycles),
+			r.AvgActiveCores)
+	}
+	bestIdx, bestCycles := stats.ArgMinUint(times)
+	fmt.Printf("# minimum at %d threads (%d cycles)\n", counts[bestIdx], bestCycles)
+
+	for _, pname := range strings.Split(*policies, ",") {
+		pname = strings.TrimSpace(pname)
+		if pname == "" {
+			continue
+		}
+		pol, err := policyByName(pname)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+			os.Exit(2)
+		}
+		r := core.RunPolicy(cfg, factory, pol)
+		fmt.Printf("# %-8s -> ", r.Policy)
+		for _, k := range r.Kernels {
+			fmt.Printf("[%s threads=%d pcs=%d pbw=%d csfrac=%.2f%% bu1=%.2f%%] ",
+				k.Kernel, k.Decision.Threads, k.Decision.PCS, k.Decision.PBW,
+				100*k.Decision.CSFraction, 100*k.Decision.BusUtil1)
+		}
+		fmt.Printf("time=%.3f power=%.2f\n",
+			float64(r.TotalCycles)/float64(base), r.AvgActiveCores)
+	}
+}
+
+func parseThreads(s string, cores int) ([]int, error) {
+	if s == "" {
+		out := make([]int, cores)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func policyByName(name string) (core.Policy, error) {
+	switch strings.ToLower(name) {
+	case "sat":
+		return core.SAT{}, nil
+	case "bat":
+		return core.BAT{}, nil
+	case "sat+bat", "combined", "fdt":
+		return core.Combined{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

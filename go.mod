@@ -1,0 +1,3 @@
+module fdt
+
+go 1.22

@@ -1,0 +1,58 @@
+package core_test
+
+import (
+	"fmt"
+
+	"fdt/internal/core"
+)
+
+// The paper's Fig 6 example: a program that spends 2 time units in
+// its critical section and 8 in parallel work takes 10, 8, 10 and 17
+// units on 1, 2, 4 and 8 threads — more threads eventually hurt.
+func ExampleExecTimeCS() {
+	for _, p := range []int{1, 2, 4, 8} {
+		fmt.Printf("P=%d T=%v\n", p, core.ExecTimeCS(8, 2, p))
+	}
+	// Output:
+	// P=1 T=10
+	// P=2 T=8
+	// P=4 T=10
+	// P=8 T=17
+}
+
+// Equation 3: with a critical section taking 1% of single-threaded
+// time, the kernel is synchronization-limited at ~10 threads.
+func ExampleOptimalThreadsCS() {
+	fmt.Printf("%.2f\n", core.OptimalThreadsCS(99, 1))
+	// Output:
+	// 9.95
+}
+
+// Equation 5: a thread using 12.5% of the bus saturates it with 8.
+func ExampleSaturationThreads() {
+	fmt.Println(core.SaturationThreads(0.125))
+	// Output:
+	// 8
+}
+
+// Equation 7: the combined policy takes the tighter of the two limits
+// (zero means a limiter was not detected).
+func ExampleCombinedThreads() {
+	fmt.Println(core.CombinedThreads(7, 15, 32)) // CS binds
+	fmt.Println(core.CombinedThreads(0, 12, 32)) // only BW detected
+	fmt.Println(core.CombinedThreads(0, 0, 32))  // scalable
+	// Output:
+	// 7
+	// 12
+	// 32
+}
+
+// BAT rounds up ("a higher number of threads may not hurt performance
+// while a smaller number can"); SAT rounds to nearest.
+func ExampleRoundBAT() {
+	fmt.Println(core.RoundBAT(6.01, 32), core.RoundSAT(6.01, 32))
+	fmt.Println(core.RoundBAT(6.99, 32), core.RoundSAT(6.99, 32))
+	// Output:
+	// 7 6
+	// 7 7
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"fdt/internal/machine"
+)
+
+func TestHillClimbStopsAtCSKnee(t *testing.T) {
+	// CS-heavy kernel: throughput stops improving a little past the
+	// sqrt knee, so the climb must stop well below the core count.
+	m := machine.MustNew(machine.DefaultConfig())
+	f := newSynthFactory(2000, 960, 60, 0)
+	res := HillClimb{}.Run(m, f(m))
+	got := res.Kernels[0].Decision.Threads
+	if got > 8 {
+		t.Errorf("hill-climb chose %d threads for a CS-bound kernel, want <= 8", got)
+	}
+	if got < 2 {
+		t.Errorf("hill-climb never climbed: %d threads", got)
+	}
+}
+
+func TestHillClimbScalesComputeBoundKernel(t *testing.T) {
+	m := machine.MustNew(machine.DefaultConfig())
+	f := newSynthFactory(4000, 2000, 0, 0)
+	res := HillClimb{}.Run(m, f(m))
+	if got := res.Kernels[0].Decision.Threads; got < 16 {
+		t.Errorf("hill-climb chose %d threads for a scalable kernel, want >= 16", got)
+	}
+}
+
+func TestHillClimbProbesMultipleSizes(t *testing.T) {
+	m := machine.MustNew(machine.DefaultConfig())
+	f := newSynthFactory(4000, 2000, 0, 0)
+	w := f(m)
+	res := HillClimb{ProbeIters: 10}.Run(m, w)
+	k := w.Kernels()[0].(*synthKernel)
+	// The probe chunks must appear in doubling order before the final
+	// execution chunk.
+	var sizes []int
+	for _, n := range k.chunkTeams {
+		sizes = append(sizes, n)
+	}
+	if len(sizes) < 3 {
+		t.Fatalf("only %d chunks ran: %v", len(sizes), sizes)
+	}
+	for i := 0; i < len(sizes)-2; i++ {
+		if sizes[i+1] != sizes[i]*2 {
+			t.Errorf("probe sizes not doubling: %v", sizes)
+			break
+		}
+	}
+	if res.Kernels[0].TrainIters < 20 {
+		t.Errorf("probe iterations = %d, want >= 2 probes x 10", res.Kernels[0].TrainIters)
+	}
+}
+
+func TestHillClimbCompletesAllIterations(t *testing.T) {
+	m := machine.MustNew(machine.DefaultConfig())
+	f := newSynthFactory(500, 300, 20, 0)
+	w := f(m)
+	HillClimb{}.Run(m, w)
+	k := w.Kernels()[0].(*synthKernel)
+	total := 0
+	for range k.chunkTeams {
+		total++
+	}
+	// All 500 iterations must execute exactly once: the sum of chunk
+	// ranges is checked indirectly by the workload-level verifiers;
+	// here just assert the final chunk exists.
+	if total < 2 {
+		t.Errorf("hill-climb ran %d chunks, want probes + execution", total)
+	}
+}
+
+func TestHillClimbName(t *testing.T) {
+	if (HillClimb{}).Name() != "hill-climb" {
+		t.Error("name changed")
+	}
+}

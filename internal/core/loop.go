@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fdt/internal/machine"
+	"fdt/internal/thread"
+)
+
+// LoopKernel adapts a plain parallel-for body into a Kernel — the
+// one-liner entry point for code that just wants OpenMP-style
+// `parallel for` with FDT picking the team size. Iterations are
+// block-distributed across the team, like OpenMP's static schedule.
+type LoopKernel struct {
+	name  string
+	iters int
+	body  func(tc *thread.Ctx, iter int)
+}
+
+// NewLoopKernel wraps a loop body. The body receives the thread
+// context (for Compute/Load/Store/Critical) and the iteration index;
+// it must be safe to run iterations in any block distribution.
+func NewLoopKernel(name string, iterations int, body func(tc *thread.Ctx, iter int)) *LoopKernel {
+	return &LoopKernel{name: name, iters: iterations, body: body}
+}
+
+// Name implements Kernel.
+func (k *LoopKernel) Name() string { return k.name }
+
+// Iterations implements Kernel.
+func (k *LoopKernel) Iterations() int { return k.iters }
+
+// RunChunk implements Kernel.
+func (k *LoopKernel) RunChunk(master *thread.Ctx, n, lo, hi int) {
+	master.Fork(n, func(tc *thread.Ctx) {
+		myLo, myHi := tc.Range(lo, hi)
+		for i := myLo; i < myHi; i++ {
+			k.body(tc, i)
+		}
+	})
+}
+
+// LoopWorkload is a single-loop program.
+type LoopWorkload struct {
+	kernel *LoopKernel
+}
+
+// NewLoopWorkload wraps one loop kernel as a runnable workload.
+func NewLoopWorkload(k *LoopKernel) *LoopWorkload { return &LoopWorkload{kernel: k} }
+
+// Name implements Workload.
+func (w *LoopWorkload) Name() string { return w.kernel.Name() }
+
+// Kernels implements Workload.
+func (w *LoopWorkload) Kernels() []Kernel { return []Kernel{w.kernel} }
+
+// ParallelFor runs `iterations` of body on a fresh machine under the
+// combined SAT+BAT policy and reports the run — the shortest path
+// from "I have a loop" to "FDT sized my team":
+//
+//	res := core.ParallelFor(machine.DefaultConfig(), "mykernel", 10000,
+//		func(tc *thread.Ctx, i int) {
+//			tc.Load(base + uint64(8*i))
+//			tc.Exec(40)
+//		})
+func ParallelFor(cfg machine.Config, name string, iterations int, body func(tc *thread.Ctx, iter int)) RunResult {
+	m := machine.MustNew(cfg)
+	w := NewLoopWorkload(NewLoopKernel(name, iterations, body))
+	return NewController(Combined{}).Run(m, w)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"fdt/internal/machine"
+	"fdt/internal/thread"
+)
+
+func TestParallelForComputeBoundScales(t *testing.T) {
+	res := ParallelFor(machine.DefaultConfig(), "compute", 2000, func(tc *thread.Ctx, i int) {
+		tc.Exec(800)
+	})
+	if got := res.Kernels[0].Decision.Threads; got != 32 {
+		t.Errorf("compute-bound loop got %d threads, want 32", got)
+	}
+	if res.Workload != "compute" {
+		t.Errorf("workload name = %q", res.Workload)
+	}
+}
+
+func TestParallelForCSBoundLimited(t *testing.T) {
+	m := machine.MustNew(machine.DefaultConfig())
+	lock := thread.NewLock(m)
+	k := NewLoopKernel("cs", 2000, func(tc *thread.Ctx, i int) {
+		tc.Exec(1600)
+		tc.Critical(lock, func() { tc.Exec(120) })
+	})
+	res := NewController(Combined{}).Run(m, NewLoopWorkload(k))
+	got := res.Kernels[0].Decision.Threads
+	if got < 2 || got > 12 {
+		t.Errorf("CS-bound loop got %d threads, want a synchronization-limited count", got)
+	}
+}
+
+func TestLoopKernelCoversAllIterations(t *testing.T) {
+	seen := make([]int, 500)
+	m := machine.MustNew(machine.DefaultConfig())
+	k := NewLoopKernel("cover", 500, func(tc *thread.Ctx, i int) {
+		seen[i]++
+		tc.Exec(100)
+	})
+	NewController(Combined{}).Run(m, NewLoopWorkload(k))
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("iteration %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestLoopKernelBandwidthBound(t *testing.T) {
+	m := machine.MustNew(machine.DefaultConfig())
+	base := m.Alloc(64 << 20)
+	k := NewLoopKernel("stream", 4096, func(tc *thread.Ctx, i int) {
+		tc.Load(base + uint64(64*i)) // one fresh line per iteration
+		tc.Exec(16)
+	})
+	res := NewController(Combined{}).Run(m, NewLoopWorkload(k))
+	got := res.Kernels[0].Decision.Threads
+	if got < 2 || got > 16 {
+		t.Errorf("streaming loop got %d threads, want a bandwidth-limited count", got)
+	}
+	if res.Kernels[0].Decision.PBW == 0 {
+		t.Error("BAT did not detect the bandwidth limit")
+	}
+}

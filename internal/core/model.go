@@ -1,0 +1,137 @@
+// Package core implements the paper's contribution: Feedback-Driven
+// Threading (FDT), a runtime framework that samples a few iterations
+// of a parallel kernel, reads performance counters, and chooses the
+// number of threads for the remaining iterations.
+//
+// The package contains the analytic models of Sections 4.1 and 5.1 as
+// pure functions (model.go), the training loop of Sections 4.2/5.2
+// (controller.go), and the threading policies built on them: SAT,
+// BAT, their combination (Section 6), and static baselines
+// (policy.go).
+package core
+
+import "math"
+
+// ExecTimeCS evaluates Equation 1: the execution time of a kernel
+// with serial critical-section time tCS and parallelizable time tNoCS
+// when run on p threads,
+//
+//	T_P = T_NoCS/P + P*T_CS.
+//
+// Times are in arbitrary units; the result shares them.
+func ExecTimeCS(tNoCS, tCS float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return tNoCS/float64(p) + float64(p)*tCS
+}
+
+// OptimalThreadsCS evaluates Equation 3: the real-valued thread count
+// minimizing Equation 1,
+//
+//	P_CS = sqrt(T_NoCS / T_CS).
+//
+// A kernel with no critical section (tCS = 0) returns +Inf — it is
+// never synchronization-limited.
+func OptimalThreadsCS(tNoCS, tCS float64) float64 {
+	if tCS <= 0 {
+		return math.Inf(1)
+	}
+	if tNoCS < 0 {
+		tNoCS = 0
+	}
+	return math.Sqrt(tNoCS / tCS)
+}
+
+// BusUtilAtP evaluates Equation 4 with the physical cap: utilization
+// grows linearly in the thread count until it saturates at 1.
+// bu1 is the fractional bus utilization of a single thread (0..1).
+func BusUtilAtP(bu1 float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	u := bu1 * float64(p)
+	if u > 1 {
+		return 1
+	}
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// SaturationThreads evaluates Equation 5: the real-valued minimum
+// thread count that saturates the off-chip bus,
+//
+//	P_BW = 100 / BU_1  (with BU_1 in percent; here fractional: 1/bu1).
+//
+// A kernel that does not touch the bus (bu1 = 0) returns +Inf.
+func SaturationThreads(bu1 float64) float64 {
+	if bu1 <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / bu1
+}
+
+// ExecTimeBW evaluates Equation 6: with t1 the single-thread time of
+// the parallel part and pbw the bus-saturation thread count, execution
+// time scales as t1/p until saturation and is flat beyond it.
+func ExecTimeBW(t1 float64, p int, pbw float64) float64 {
+	if p < 1 {
+		p = 1
+	}
+	if float64(p) <= pbw {
+		return t1 / float64(p)
+	}
+	return t1 / pbw
+}
+
+// RoundSAT converts the real P_CS of Equation 3 into SAT's thread
+// count: rounded to the nearest integer (Section 4.2.2), clamped to
+// [1, cores].
+func RoundSAT(pcs float64, cores int) int {
+	if math.IsInf(pcs, 1) {
+		return cores
+	}
+	n := int(pcs + 0.5)
+	return clampThreads(n, cores)
+}
+
+// RoundBAT converts the real P_BW of Equation 5 into BAT's thread
+// count: rounded up (Section 5.2: "a higher number of threads may not
+// hurt performance while a smaller number can"), clamped to
+// [1, cores].
+func RoundBAT(pbw float64, cores int) int {
+	if math.IsInf(pbw, 1) {
+		return cores
+	}
+	n := int(math.Ceil(pbw - 1e-9))
+	return clampThreads(n, cores)
+}
+
+// CombinedThreads evaluates Equation 7:
+//
+//	P_FDT = MIN(P_BW, P_CS, num_available_cores).
+//
+// Zero-valued pcs/pbw mean "unlimited" (the corresponding limiter was
+// not detected).
+func CombinedThreads(pcs, pbw, cores int) int {
+	p := cores
+	if pcs > 0 && pcs < p {
+		p = pcs
+	}
+	if pbw > 0 && pbw < p {
+		p = pbw
+	}
+	return clampThreads(p, cores)
+}
+
+func clampThreads(n, cores int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > cores {
+		return cores
+	}
+	return n
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExecTimeCSReproducesFig6Example(t *testing.T) {
+	// The paper's Fig 6: a program spending 2 units in the critical
+	// section and 8 units in the parallel part takes 10, 8, 10 and 17
+	// units on 1, 2, 4 and 8 threads.
+	cases := []struct {
+		p    int
+		want float64
+	}{{1, 10}, {2, 8}, {4, 10}, {8, 17}}
+	for _, c := range cases {
+		if got := ExecTimeCS(8, 2, c.p); got != c.want {
+			t.Errorf("ExecTimeCS(8,2,%d) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestOptimalThreadsCSOnePercentExample(t *testing.T) {
+	// Section 4.1: "if the critical section accounts for only 1% of
+	// the overall execution time, the system becomes critical section
+	// limited with just 10 threads" — sqrt(99/1) ~ 9.95.
+	got := OptimalThreadsCS(99, 1)
+	if math.Abs(got-9.949) > 0.01 {
+		t.Errorf("OptimalThreadsCS(99,1) = %v, want ~9.95", got)
+	}
+}
+
+func TestOptimalThreadsCSNoCriticalSection(t *testing.T) {
+	if !math.IsInf(OptimalThreadsCS(100, 0), 1) {
+		t.Error("tCS=0 must yield +Inf (never synchronization-limited)")
+	}
+}
+
+func TestPropertyOptimalThreadsCSMinimizesEq1(t *testing.T) {
+	// P_CS (rounded either way) must beat every other integer thread
+	// count under Equation 1.
+	f := func(noCSRaw, csRaw uint16) bool {
+		tNoCS := float64(noCSRaw%5000) + 1
+		tCS := float64(csRaw%100) + 1
+		pcs := OptimalThreadsCS(tNoCS, tCS)
+		lo, hi := int(pcs), int(pcs)+1
+		if lo < 1 {
+			lo = 1
+		}
+		best := math.Min(ExecTimeCS(tNoCS, tCS, lo), ExecTimeCS(tNoCS, tCS, hi))
+		for p := 1; p <= 64; p++ {
+			if ExecTimeCS(tNoCS, tCS, p) < best-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusUtilAtPLinearThenSaturates(t *testing.T) {
+	// Fig 11: 25% single-thread utilization doubles with 2 threads,
+	// saturates at 4, stays saturated at 8.
+	if got := BusUtilAtP(0.25, 2); got != 0.5 {
+		t.Errorf("BU at 2 threads = %v, want 0.5", got)
+	}
+	if got := BusUtilAtP(0.25, 4); got != 1.0 {
+		t.Errorf("BU at 4 threads = %v, want 1.0", got)
+	}
+	if got := BusUtilAtP(0.25, 8); got != 1.0 {
+		t.Errorf("BU at 8 threads = %v, want 1.0 (saturated)", got)
+	}
+}
+
+func TestSaturationThreadsTenPercentExample(t *testing.T) {
+	// Section 5.1: "if a single thread utilizes the off-chip bus for
+	// 10% of the time, then the system will become off-chip bandwidth
+	// limited for more than 10 threads."
+	if got := SaturationThreads(0.10); math.Abs(got-10) > 1e-9 {
+		t.Errorf("SaturationThreads(0.10) = %v, want 10", got)
+	}
+	if !math.IsInf(SaturationThreads(0), 1) {
+		t.Error("bu1=0 must yield +Inf")
+	}
+}
+
+func TestExecTimeBWFlatBeyondSaturation(t *testing.T) {
+	// Eq 6 with t1=100, pbw=4: halves until 4 threads, flat after.
+	if got := ExecTimeBW(100, 2, 4); got != 50 {
+		t.Errorf("T(2) = %v, want 50", got)
+	}
+	if got := ExecTimeBW(100, 4, 4); got != 25 {
+		t.Errorf("T(4) = %v, want 25", got)
+	}
+	if got := ExecTimeBW(100, 16, 4); got != 25 {
+		t.Errorf("T(16) = %v, want 25 (flat)", got)
+	}
+}
+
+func TestRoundSAT(t *testing.T) {
+	if got := RoundSAT(6.53, 32); got != 7 {
+		t.Errorf("RoundSAT(6.53) = %d, want 7 (PageMine, Section 4.3)", got)
+	}
+	if got := RoundSAT(6.46, 32); got != 6 {
+		t.Errorf("RoundSAT(6.46) = %d, want 6", got)
+	}
+	if got := RoundSAT(100, 32); got != 32 {
+		t.Errorf("RoundSAT clamps to cores, got %d", got)
+	}
+	if got := RoundSAT(0.2, 32); got != 1 {
+		t.Errorf("RoundSAT floors at 1, got %d", got)
+	}
+	if got := RoundSAT(math.Inf(1), 32); got != 32 {
+		t.Errorf("RoundSAT(+Inf) = %d, want 32", got)
+	}
+}
+
+func TestRoundBAT(t *testing.T) {
+	// BAT rounds up: "a higher number of threads may not hurt
+	// performance while a smaller number can" (Section 5.2).
+	if got := RoundBAT(6.99, 32); got != 7 {
+		t.Errorf("RoundBAT(6.99) = %d, want 7 (ED)", got)
+	}
+	if got := RoundBAT(6.01, 32); got != 7 {
+		t.Errorf("RoundBAT(6.01) = %d, want 7", got)
+	}
+	if got := RoundBAT(7.0, 32); got != 7 {
+		t.Errorf("RoundBAT(7.0) = %d, want 7 (exact values stay)", got)
+	}
+	if got := RoundBAT(50, 32); got != 32 {
+		t.Errorf("RoundBAT clamps to cores, got %d", got)
+	}
+}
+
+func TestCombinedThreadsEq7(t *testing.T) {
+	cases := []struct {
+		pcs, pbw, cores, want int
+	}{
+		{7, 15, 32, 7},   // CS-limited: Fig 16's case
+		{15, 7, 32, 7},   // BW-limited: Fig 17's case
+		{0, 12, 32, 12},  // no CS limit detected
+		{5, 0, 32, 5},    // no BW limit detected
+		{0, 0, 32, 32},   // scalable: all cores
+		{40, 50, 32, 32}, // both above core count
+	}
+	for _, c := range cases {
+		if got := CombinedThreads(c.pcs, c.pbw, c.cores); got != c.want {
+			t.Errorf("CombinedThreads(%d,%d,%d) = %d, want %d", c.pcs, c.pbw, c.cores, got, c.want)
+		}
+	}
+}
+
+func TestPropertyCombinedNeverExceedsInputs(t *testing.T) {
+	f := func(a, b uint8, coresRaw uint8) bool {
+		cores := int(coresRaw%32) + 1
+		pcs, pbw := int(a%64), int(b%64)
+		got := CombinedThreads(pcs, pbw, cores)
+		if got < 1 || got > cores {
+			return false
+		}
+		if pcs > 0 && got > pcs {
+			return false
+		}
+		if pbw > 0 && got > pbw {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMinRuleOptimalUnderCompositeModel(t *testing.T) {
+	// Appendix proof: under the composite model where the parallel
+	// part stops scaling beyond P_BW and the CS grows linearly,
+	// min(P_CS, P_BW) minimizes execution time over all integer P.
+	composite := func(tNoCS, tCS, pbw float64, p int) float64 {
+		eff := float64(p)
+		if eff > pbw {
+			eff = pbw
+		}
+		return tNoCS/eff + float64(p)*tCS
+	}
+	f := func(noCSRaw, csRaw, pbwRaw uint16) bool {
+		tNoCS := float64(noCSRaw%4000) + 100
+		tCS := float64(csRaw%50) + 1
+		pbwReal := float64(pbwRaw%20) + 1
+		cores := 32
+		pcs := RoundSAT(OptimalThreadsCS(tNoCS, tCS), cores)
+		pbw := RoundBAT(pbwReal, cores)
+		chosen := CombinedThreads(pcs, pbw, cores)
+		chosenTime := composite(tNoCS, tCS, pbwReal, chosen)
+		for p := 1; p <= cores; p++ {
+			// Allow the slack introduced by integer rounding of the
+			// two estimates: a neighbour may be marginally better.
+			if composite(tNoCS, tCS, pbwReal, p) < chosenTime*0.93 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package cpu models one in-order core of the simulated CMP. Table 1
+// specifies two-wide in-order five-stage pipelines; we model such a
+// core as a compute server that retires issue-width instructions per
+// cycle and stalls for the full latency of every memory access (an
+// in-order core without speculation cannot hide misses). This is the
+// standard abstraction for studying throughput-level phenomena — and
+// both of the paper's limiters (critical-section serialization and
+// bus bandwidth) are throughput phenomena.
+package cpu
+
+import (
+	"fdt/internal/mem"
+	"fdt/internal/sim"
+)
+
+// CPU is a thread's execution context on a specific core.
+type CPU struct {
+	core  int
+	width uint64
+	proc  *sim.Proc
+	port  *mem.Port
+	// load, when set, reports how many hardware contexts currently
+	// share this core (SMT): co-resident contexts divide the issue
+	// width, so compute slows by that factor.
+	load func() int
+
+	instret uint64
+	loads   uint64
+	stores  uint64
+}
+
+// New binds a CPU façade to a core, its simulation process, and its
+// memory port.
+func New(core int, width int, proc *sim.Proc, port *mem.Port) *CPU {
+	if width <= 0 {
+		width = 1
+	}
+	return &CPU{core: core, width: uint64(width), proc: proc, port: port}
+}
+
+// Core reports the core index this CPU occupies.
+func (c *CPU) Core() int { return c.core }
+
+// Proc exposes the simulation process (used by the threading runtime
+// for parking and waking).
+func (c *CPU) Proc() *sim.Proc { return c.proc }
+
+// CycleCount reads the core's cycle counter — the paper's "read the
+// cycle counter at entry and exit" instrumentation primitive.
+func (c *CPU) CycleCount() uint64 { return c.proc.Now() }
+
+// Instret reports instructions retired (diagnostics).
+func (c *CPU) Instret() uint64 { return c.instret }
+
+// SetContention installs the SMT co-residency probe (see the load
+// field). A nil probe — the default — models a dedicated core.
+func (c *CPU) SetContention(load func() int) { c.load = load }
+
+// slowdown reports the current compute derating from SMT sharing.
+func (c *CPU) slowdown() uint64 {
+	if c.load == nil {
+		return 1
+	}
+	if l := c.load(); l > 1 {
+		return uint64(l)
+	}
+	return 1
+}
+
+// Compute advances the core through cycles of pure ALU work.
+func (c *CPU) Compute(cycles uint64) {
+	if cycles == 0 {
+		return
+	}
+	c.instret += cycles * c.width
+	c.proc.Advance(cycles * c.slowdown())
+}
+
+// Exec retires instrs ALU instructions at the pipeline's issue width.
+func (c *CPU) Exec(instrs uint64) {
+	if instrs == 0 {
+		return
+	}
+	c.instret += instrs
+	c.proc.Advance((instrs*c.slowdown() + c.width - 1) / c.width)
+}
+
+// Load performs a data load from addr, stalling for the full access.
+func (c *CPU) Load(addr uint64) {
+	c.loads++
+	c.port.Load(c.proc, addr)
+}
+
+// Store performs a data store to addr.
+func (c *CPU) Store(addr uint64) {
+	c.stores++
+	c.port.Store(c.proc, addr)
+}
+
+// LoadRange touches every line in [base, base+bytes) once with a
+// load — the access pattern of a streaming read. It issues one load
+// per line; per-element ALU work should be added with Compute/Exec by
+// the caller, which keeps workload tuning explicit.
+func (c *CPU) LoadRange(base uint64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	line := uint64(c.port.LineBytes())
+	first := base &^ (line - 1)
+	last := (base + uint64(bytes) - 1) &^ (line - 1)
+	for a := first; a <= last; a += line {
+		c.Load(a)
+	}
+}
+
+// StoreRange touches every line in [base, base+bytes) once with a
+// streaming store: the writes retire through the store buffer
+// (mem.Port.StoreStream), so they consume bandwidth without stalling
+// the core unless the buffer fills — the behaviour of a real write
+// stream.
+func (c *CPU) StoreRange(base uint64, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	line := uint64(c.port.LineBytes())
+	first := base &^ (line - 1)
+	last := (base + uint64(bytes) - 1) &^ (line - 1)
+	for a := first; a <= last; a += line {
+		c.stores++
+		c.port.StoreStream(c.proc, a)
+	}
+}

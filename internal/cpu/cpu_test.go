@@ -1,0 +1,131 @@
+package cpu
+
+import (
+	"testing"
+
+	"fdt/internal/counters"
+	"fdt/internal/mem"
+	"fdt/internal/sim"
+)
+
+func testCPU(t *testing.T) (*CPU, *sim.Engine, *mem.System, func(body func(c *CPU))) {
+	t.Helper()
+	ctrs := counters.NewSet()
+	sys, err := mem.NewSystem(mem.DefaultConfig(), ctrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	var c *CPU
+	run := func(body func(c *CPU)) {
+		e.Spawn("t", func(p *sim.Proc) {
+			c = New(0, 2, p, sys.Port(0))
+			body(c)
+		})
+		e.Run()
+	}
+	return c, e, sys, run
+}
+
+func TestComputeAdvancesCycles(t *testing.T) {
+	_, e, _, run := testCPU(t)
+	run(func(c *CPU) { c.Compute(123) })
+	if e.Now() != 123 {
+		t.Errorf("elapsed = %d, want 123", e.Now())
+	}
+}
+
+func TestExecUsesIssueWidth(t *testing.T) {
+	_, e, _, run := testCPU(t)
+	run(func(c *CPU) {
+		c.Exec(100) // 2-wide: 50 cycles
+		c.Exec(101) // odd count rounds up: 51 cycles
+	})
+	if e.Now() != 101 {
+		t.Errorf("elapsed = %d, want 101", e.Now())
+	}
+}
+
+func TestExecZeroWidthDefaultsToOne(t *testing.T) {
+	e := sim.NewEngine()
+	ctrs := counters.NewSet()
+	sys := mem.MustNewSystem(mem.DefaultConfig(), ctrs)
+	e.Spawn("t", func(p *sim.Proc) {
+		c := New(0, 0, p, sys.Port(0))
+		c.Exec(10)
+	})
+	e.Run()
+	if e.Now() != 10 {
+		t.Errorf("elapsed = %d, want 10 at width 1", e.Now())
+	}
+}
+
+func TestCycleCountMatchesClock(t *testing.T) {
+	_, _, _, run := testCPU(t)
+	run(func(c *CPU) {
+		c.Compute(10)
+		if c.CycleCount() != 10 {
+			t.Errorf("CycleCount = %d, want 10", c.CycleCount())
+		}
+	})
+}
+
+func TestLoadRangeTouchesEveryLineOnce(t *testing.T) {
+	_, _, sys, run := testCPU(t)
+	base := sys.Alloc(1024)
+	ctr := sys.Ctrs.Counter(counters.BusTransactions)
+	run(func(c *CPU) {
+		c.LoadRange(base, 1024) // 16 lines, all cold misses
+	})
+	if got := ctr.Read(); got != 16 {
+		t.Errorf("bus transactions = %d, want 16", got)
+	}
+}
+
+func TestLoadRangeUnalignedSpansBoundary(t *testing.T) {
+	_, _, sys, run := testCPU(t)
+	base := sys.Alloc(256)
+	ctr := sys.Ctrs.Counter(counters.BusTransactions)
+	run(func(c *CPU) {
+		// 64 bytes starting 32 bytes into a line touches two lines.
+		c.LoadRange(base+32, 64)
+	})
+	if got := ctr.Read(); got != 2 {
+		t.Errorf("bus transactions = %d, want 2 for straddling range", got)
+	}
+}
+
+func TestStoreRangeDirtiesLines(t *testing.T) {
+	_, _, sys, run := testCPU(t)
+	base := sys.Alloc(128)
+	run(func(c *CPU) { c.StoreRange(base, 128) })
+	line := base / 64
+	if mod, owner := sys.Dir.IsModified(line); !mod || owner != 0 {
+		t.Errorf("line not owned-modified after StoreRange: (%v,%d)", mod, owner)
+	}
+}
+
+func TestEmptyRangesAreNoops(t *testing.T) {
+	_, e, sys, run := testCPU(t)
+	base := sys.Alloc(64)
+	run(func(c *CPU) {
+		c.LoadRange(base, 0)
+		c.StoreRange(base, -5)
+		c.Compute(0)
+		c.Exec(0)
+	})
+	if e.Now() != 0 {
+		t.Errorf("no-ops advanced clock to %d", e.Now())
+	}
+}
+
+func TestInstretCounts(t *testing.T) {
+	_, _, _, run := testCPU(t)
+	run(func(c *CPU) {
+		c.Exec(10)
+		c.Compute(5) // 5 cycles * width 2 = 10 instrs
+		if c.Instret() != 20 {
+			t.Errorf("instret = %d, want 20", c.Instret())
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package cpu
+
+import (
+	"testing"
+
+	"fdt/internal/counters"
+	"fdt/internal/mem"
+	"fdt/internal/sim"
+)
+
+func TestContentionSlowsCompute(t *testing.T) {
+	ctrs := counters.NewSet()
+	sys := mem.MustNewSystem(mem.DefaultConfig(), ctrs)
+	e := sim.NewEngine()
+	load := 1
+	e.Spawn("t", func(p *sim.Proc) {
+		c := New(0, 2, p, sys.Port(0))
+		c.SetContention(func() int { return load })
+		c.Compute(100)
+		solo := p.Now()
+		load = 2
+		c.Compute(100)
+		if shared := p.Now() - solo; shared != 200 {
+			t.Errorf("co-resident compute took %d, want 200 (2x derate)", shared)
+		}
+		if solo != 100 {
+			t.Errorf("solo compute took %d, want 100", solo)
+		}
+	})
+	e.Run()
+}
+
+func TestContentionAffectsExec(t *testing.T) {
+	ctrs := counters.NewSet()
+	sys := mem.MustNewSystem(mem.DefaultConfig(), ctrs)
+	e := sim.NewEngine()
+	e.Spawn("t", func(p *sim.Proc) {
+		c := New(0, 2, p, sys.Port(0))
+		c.SetContention(func() int { return 2 })
+		c.Exec(100) // 100 instrs, width 2, derate 2 -> 100 cycles
+		if p.Now() != 100 {
+			t.Errorf("Exec under contention took %d, want 100", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestNilContentionIsDedicated(t *testing.T) {
+	ctrs := counters.NewSet()
+	sys := mem.MustNewSystem(mem.DefaultConfig(), ctrs)
+	e := sim.NewEngine()
+	e.Spawn("t", func(p *sim.Proc) {
+		c := New(0, 2, p, sys.Port(0))
+		c.Compute(50)
+		if p.Now() != 50 {
+			t.Errorf("dedicated compute took %d, want 50", p.Now())
+		}
+	})
+	e.Run()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationCoherenceMatters(t *testing.T) {
+	a := AblationCoherence(testOptions())
+	if len(a.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(a.Rows))
+	}
+	on, off := a.Rows[0], a.Rows[1]
+	// Without MESI, critical sections lose the lock-line ping-pong,
+	// so the run must get faster.
+	if off.Cycles >= on.Cycles {
+		t.Errorf("coherence off (%d cycles) not faster than on (%d)", off.Cycles, on.Cycles)
+	}
+}
+
+func TestAblationRowBufferShiftsBU(t *testing.T) {
+	a := AblationRowBuffer(testOptions())
+	on, off := a.Rows[0], a.Rows[1]
+	// Without row buffers every DRAM access pays the miss latency, so
+	// a single thread spends longer per line and uses less of the bus.
+	if off.BU1Pct >= on.BU1Pct {
+		t.Errorf("BU1 without row buffers (%.2f%%) not below with (%.2f%%)", off.BU1Pct, on.BU1Pct)
+	}
+	// Both configurations must still classify ED as bandwidth-limited.
+	if on.Threads >= 16 || off.Threads >= 16 {
+		t.Errorf("BAT no longer limits ED: %d / %d threads", on.Threads, off.Threads)
+	}
+}
+
+func TestAblationStoreBufferDepth(t *testing.T) {
+	a := AblationStoreBuffer(testOptions())
+	if len(a.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(a.Rows))
+	}
+	shallow, deep := a.Rows[0], a.Rows[2]
+	// A 1-entry buffer serializes transpose's write bursts; deeper
+	// buffers must not be slower.
+	if deep.Cycles > shallow.Cycles {
+		t.Errorf("deep store buffer slower (%d) than shallow (%d)", deep.Cycles, shallow.Cycles)
+	}
+}
+
+func TestAblationStabilityWindowControlsTraining(t *testing.T) {
+	a := AblationStabilityWindow(testOptions())
+	byConfig := map[string]AblationRow{}
+	for _, r := range a.Rows {
+		byConfig[r.Config] = r
+	}
+	// A wider window cannot train for fewer iterations than a
+	// narrower one (it needs more consecutive agreeing samples).
+	if byConfig["window 6"].TrainIters < byConfig["window 3"].TrainIters {
+		t.Errorf("window 6 trained %d iters < window 3's %d",
+			byConfig["window 6"].TrainIters, byConfig["window 3"].TrainIters)
+	}
+	// The decision itself must be robust across windows.
+	for cfgName, r := range byConfig {
+		if r.Threads < 3 || r.Threads > 8 {
+			t.Errorf("%s: decision %d threads drifted out of the CS regime", cfgName, r.Threads)
+		}
+	}
+}
+
+func TestAblationHillClimbTrainsMore(t *testing.T) {
+	a := AblationTrainingOverhead(testOptions())
+	// Pair up rows: FDT then hill-climb per workload.
+	for i := 0; i+1 < len(a.Rows); i += 2 {
+		fdt, hc := a.Rows[i], a.Rows[i+1]
+		if fdt.Workload != hc.Workload {
+			t.Fatalf("row pairing broken: %s vs %s", fdt.Workload, hc.Workload)
+		}
+		if hc.TrainIters <= fdt.TrainIters {
+			t.Errorf("%s: hill-climb trained %d iters, FDT %d — search should cost more",
+				fdt.Workload, hc.TrainIters, fdt.TrainIters)
+		}
+	}
+}
+
+func TestAblationPrefetcherRaisesBU1(t *testing.T) {
+	a := AblationPrefetcher(testOptions())
+	off, on := a.Rows[0], a.Rows[1]
+	if on.BU1Pct <= off.BU1Pct {
+		t.Errorf("prefetcher BU1 %.2f%% not above baseline %.2f%%", on.BU1Pct, off.BU1Pct)
+	}
+	if on.Threads >= off.Threads {
+		t.Errorf("prefetching machine got %d threads, baseline %d — BAT should need fewer", on.Threads, off.Threads)
+	}
+	// The bus is the bottleneck either way: execution time must stay
+	// in the same ballpark despite fewer cores.
+	if float64(on.Cycles) > 1.25*float64(off.Cycles) {
+		t.Errorf("prefetching run %d cycles vs %d — lost the bus bound", on.Cycles, off.Cycles)
+	}
+}
+
+func TestAblationRefinedBATNotBelowPlain(t *testing.T) {
+	a := AblationRefinedBAT(testOptions())
+	for i := 0; i+1 < len(a.Rows); i += 2 {
+		plain, refined := a.Rows[i], a.Rows[i+1]
+		if refined.Threads < plain.Threads {
+			t.Errorf("%s: refined BAT %d threads below plain %d", plain.Workload, refined.Threads, plain.Threads)
+		}
+		if refined.TrainIters <= plain.TrainIters {
+			t.Errorf("%s: refined BAT trained %d iters, plain %d", plain.Workload, refined.TrainIters, plain.TrainIters)
+		}
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	a := AblationCoherence(testOptions())
+	s := a.String()
+	if !strings.Contains(s, "coherence on") || !strings.Contains(s, "pagemine") {
+		t.Errorf("render incomplete:\n%s", s)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fdt/internal/core"
+)
+
+// Fig12 reproduces Figure 12: BAT's placement on the baseline curves
+// of the four bandwidth-limited applications (ED, convert, Transpose,
+// MTwister). The paper reports BAT within 3% of the minimum for all
+// four, with large power savings (78%/47%/75%/31%).
+type Fig12 struct {
+	Panels []Fig12Panel
+}
+
+// Fig12Panel is one application's panel.
+type Fig12Panel struct {
+	Curve Curve
+	BAT   PolicyPoint
+	// PowerSavingPct is BAT's power reduction versus the static
+	// all-cores baseline.
+	PowerSavingPct float64
+}
+
+// Fig12Workloads lists the panel order.
+var Fig12Workloads = []string{"ed", "convert", "transpose", "mtwister"}
+
+// RunFig12 executes the experiment.
+func RunFig12(o Options) Fig12 {
+	var f Fig12
+	for _, name := range Fig12Workloads {
+		c := sweep(o, name)
+		bat := policyPoint(o, name, core.BAT{}, c)
+		allCores := c.Points[len(c.Points)-1].Power
+		saving := 0.0
+		if allCores > 0 {
+			saving = 100 * (1 - bat.Run.AvgActiveCores/allCores)
+		}
+		f.Panels = append(f.Panels, Fig12Panel{Curve: c, BAT: bat, PowerSavingPct: saving})
+	}
+	return f
+}
+
+// String renders the figure.
+func (f Fig12) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 12: BAT on bandwidth-limited applications\n")
+	for _, p := range f.Panels {
+		formatCurve(&b, p.Curve, p.BAT)
+		fmt.Fprintf(&b, "  %-10s BAT power saving vs all-cores: %.0f%%\n", "", p.PowerSavingPct)
+	}
+	return b.String()
+}
+
+// Fig13 reproduces Figure 13: convert's curves on machines with half
+// and double the baseline off-chip bandwidth, with BAT's choice on
+// each — BAT adapts to the machine configuration (the paper's BAT
+// picks 8 on the half-bandwidth machine and 32 on the
+// double-bandwidth one).
+type Fig13 struct {
+	Half, Double       Curve
+	BATHalf, BATDouble PolicyPoint
+}
+
+// RunFig13 executes the experiment.
+func RunFig13(o Options) Fig13 {
+	var f Fig13
+	half := o
+	half.Cfg = o.Cfg.WithBandwidth(0.5)
+	double := o
+	double.Cfg = o.Cfg.WithBandwidth(2)
+	f.Half = sweep(half, "convert")
+	f.BATHalf = policyPoint(half, "convert", core.BAT{}, f.Half)
+	f.Double = sweep(double, "convert")
+	f.BATDouble = policyPoint(double, "convert", core.BAT{}, f.Double)
+	return f
+}
+
+// String renders the figure.
+func (f Fig13) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 13: BAT adapts to off-chip bandwidth (convert)\n")
+	b.WriteString(" 0.5x bandwidth machine:\n")
+	formatCurve(&b, f.Half, f.BATHalf)
+	b.WriteString(" 2x bandwidth machine:\n")
+	formatCurve(&b, f.Double, f.BATDouble)
+	return b.String()
+}

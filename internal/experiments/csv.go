@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renderings of the experiments, for plotting the figures with
+// external tools. Columns mirror what the paper's axes show.
+
+// CSV renders a baseline curve: threads, cycles, normalized time,
+// bus utilization, power.
+func (c Curve) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload,threads,cycles,norm_time,bus_util,power\n")
+	for _, p := range c.Points {
+		fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.6f,%.4f\n",
+			c.Workload, p.Threads, p.Cycles, p.NormTime, p.BusUtil, p.Power)
+	}
+	return b.String()
+}
+
+// CSV renders Figure 2.
+func (f Fig02) CSV() string { return f.Curve.CSV() }
+
+// CSV renders Figure 4.
+func (f Fig04) CSV() string { return f.Curve.CSV() }
+
+// CSV renders Figure 8: all four panels plus the SAT points.
+func (f Fig08) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload,threads,cycles,norm_time,bus_util,power,sat_threads,sat_norm_time\n")
+	for _, panel := range f.Panels {
+		satN := chosenThreads(panel.SAT.Run)
+		for _, p := range panel.Curve.Points {
+			fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.6f,%.4f,%d,%.6f\n",
+				panel.Curve.Workload, p.Threads, p.Cycles, p.NormTime, p.BusUtil, p.Power,
+				satN, panel.SAT.NormTime)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Figure 9.
+func (f Fig09) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "page_bytes,best_threads,sat_threads\n")
+	for i := range f.PageBytes {
+		fmt.Fprintf(&b, "%d,%d,%d\n", f.PageBytes[i], f.BestThreads[i], f.SATThreads[i])
+	}
+	return b.String()
+}
+
+// CSV renders Figure 10: both page-size curves.
+func (f Fig10) CSV() string {
+	return f.Small.CSV() + strings.TrimPrefix(f.Large.CSV(), "workload,threads,cycles,norm_time,bus_util,power\n")
+}
+
+// CSV renders Figure 12: all four panels plus the BAT points.
+func (f Fig12) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload,threads,cycles,norm_time,bus_util,power,bat_threads,bat_norm_time,bat_power_saving_pct\n")
+	for _, panel := range f.Panels {
+		batN := chosenThreads(panel.BAT.Run)
+		for _, p := range panel.Curve.Points {
+			fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.6f,%.4f,%d,%.6f,%.2f\n",
+				panel.Curve.Workload, p.Threads, p.Cycles, p.NormTime, p.BusUtil, p.Power,
+				batN, panel.BAT.NormTime, panel.PowerSavingPct)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders Figure 13: both machines' curves.
+func (f Fig13) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine,threads,cycles,norm_time,bus_util,power\n")
+	emit := func(machine string, c Curve) {
+		for _, p := range c.Points {
+			fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.6f,%.4f\n",
+				machine, p.Threads, p.Cycles, p.NormTime, p.BusUtil, p.Power)
+		}
+	}
+	emit("0.5x", f.Half)
+	emit("2x", f.Double)
+	return b.String()
+}
+
+// CSV renders Figure 14.
+func (f Fig14) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload,class,norm_time,norm_power,threads\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%s,%s,%.6f,%.6f,%.2f\n", r.Workload, r.Class, r.NormTime, r.NormPower, r.Threads)
+	}
+	fmt.Fprintf(&b, "gmean,,%.6f,%.6f,\n", f.GmeanTime, f.GmeanPower)
+	return b.String()
+}
+
+// CSV renders Figure 15.
+func (f Fig15) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload,fdt_time,oracle_time,fdt_power,oracle_power,oracle_threads\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%s,%.6f,%.6f,%.6f,%.6f,%d\n",
+			r.Workload, r.FDTTime, r.OracleTime, r.FDTPower, r.OraclePower, r.OracleThreads)
+	}
+	fmt.Fprintf(&b, "gmean,%.6f,%.6f,%.6f,%.6f,\n",
+		f.GmeanFDTTime, f.GmeanOracleTime, f.GmeanFDTPower, f.GmeanOraclePwr)
+	return b.String()
+}
+
+// CSV renders an ablation.
+func (a Ablation) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ablation,config,workload,threads,cycles,bu1_pct,train_iters\n")
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%q,%s,%s,%d,%d,%.4f,%d\n",
+			a.Title, r.Config, r.Workload, r.Threads, r.Cycles, r.BU1Pct, r.TrainIters)
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCurveCSV(t *testing.T) {
+	c := Curve{
+		Workload: "demo",
+		Points: []SweepPoint{
+			{Threads: 1, Cycles: 100, NormTime: 1, BusUtil: 0.5, Power: 1},
+			{Threads: 2, Cycles: 60, NormTime: 0.6, BusUtil: 0.9, Power: 2},
+		},
+	}
+	csv := c.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want header + 2 rows:\n%s", len(lines), csv)
+	}
+	if lines[0] != "workload,threads,cycles,norm_time,bus_util,power" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "demo,1,100,") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestFig09CSV(t *testing.T) {
+	f := Fig09{
+		PageBytes:   []int{1024, 2048},
+		BestThreads: []int{2, 3},
+		SATThreads:  []int{3, 4},
+	}
+	csv := f.CSV()
+	if !strings.Contains(csv, "1024,2,3") || !strings.Contains(csv, "2048,3,4") {
+		t.Errorf("fig9 csv wrong:\n%s", csv)
+	}
+}
+
+func TestFig14CSVIncludesGmean(t *testing.T) {
+	f := Fig14{
+		Rows:       []Fig14Row{{Workload: "x", NormTime: 0.5, NormPower: 0.4, Threads: 7}},
+		GmeanTime:  0.5,
+		GmeanPower: 0.4,
+	}
+	csv := f.CSV()
+	if !strings.Contains(csv, "gmean,,0.5") {
+		t.Errorf("gmean row missing:\n%s", csv)
+	}
+}
+
+func TestFig15CSV(t *testing.T) {
+	f := Fig15{Rows: []Fig15Row{{Workload: "mtwister", FDTTime: 1.2, OracleTime: 1.0, FDTPower: 0.5, OraclePower: 1.0, OracleThreads: 32}}}
+	csv := f.CSV()
+	if !strings.Contains(csv, "mtwister,1.2") {
+		t.Errorf("row missing:\n%s", csv)
+	}
+}
+
+func TestAblationCSV(t *testing.T) {
+	a := Ablation{
+		Title: "demo",
+		Rows:  []AblationRow{{Config: "on", Workload: "ed", Threads: 7, Cycles: 9, BU1Pct: 15.5, TrainIters: 2}},
+	}
+	csv := a.CSV()
+	if !strings.Contains(csv, `"demo",on,ed,7,9,15.5000,2`) {
+		t.Errorf("ablation csv wrong:\n%s", csv)
+	}
+}
+
+func TestFig10CSVSingleHeader(t *testing.T) {
+	f := Fig10{
+		Small: Curve{Workload: "a", Points: []SweepPoint{{Threads: 1, Cycles: 1, NormTime: 1}}},
+		Large: Curve{Workload: "b", Points: []SweepPoint{{Threads: 1, Cycles: 1, NormTime: 1}}},
+	}
+	csv := f.CSV()
+	if strings.Count(csv, "workload,threads") != 1 {
+		t.Errorf("duplicated header:\n%s", csv)
+	}
+}

@@ -1,0 +1,151 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation. Each Fig* function runs the simulations behind
+// one figure and returns a printable result whose rows/series mirror
+// what the paper plots; cmd/fdtreport renders them all.
+//
+// The per-experiment index lives in DESIGN.md; paper-vs-measured
+// numbers are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/stats"
+	"fdt/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Cfg is the simulated machine (Table 1 by default).
+	Cfg machine.Config
+	// SweepThreads are the static thread counts swept for baseline
+	// curves and the oracle. Defaults to 1..cores.
+	SweepThreads []int
+}
+
+// DefaultOptions returns the paper's setup: the Table-1 machine and a
+// full 1..32 sweep.
+func DefaultOptions() Options {
+	return Options{Cfg: machine.DefaultConfig()}
+}
+
+func (o Options) threads() []int {
+	if len(o.SweepThreads) > 0 {
+		return o.SweepThreads
+	}
+	out := make([]int, o.Cfg.Mem.Cores)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// factory resolves a registered workload into a core.Factory.
+func factory(name string) core.Factory {
+	info, ok := workloads.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown workload %q", name))
+	}
+	return func(m *machine.Machine) core.Workload { return info.Factory(m) }
+}
+
+// SweepPoint is one point of a baseline curve.
+type SweepPoint struct {
+	Threads  int
+	Cycles   uint64
+	NormTime float64 // normalized to the sweep's first point
+	BusUtil  float64 // fraction of the run the data bus was busy
+	Power    float64 // average active cores
+}
+
+// Curve is a swept baseline plus the thread counts that minimize it.
+type Curve struct {
+	Workload   string
+	Points     []SweepPoint
+	MinThreads int
+	MinCycles  uint64
+}
+
+// sweep produces a Curve for a workload.
+func sweep(o Options, name string) Curve {
+	ts := o.threads()
+	runs := core.Sweep(o.Cfg, factory(name), ts)
+	base := runs[0].TotalCycles
+	c := Curve{Workload: name}
+	times := make([]uint64, len(runs))
+	for i, r := range runs {
+		times[i] = r.TotalCycles
+		c.Points = append(c.Points, SweepPoint{
+			Threads:  ts[i],
+			Cycles:   r.TotalCycles,
+			NormTime: float64(r.TotalCycles) / float64(base),
+			BusUtil:  machine.BusUtilization(r.BusBusyCycles, r.TotalCycles),
+			Power:    r.AvgActiveCores,
+		})
+	}
+	idx, minCycles := stats.ArgMinUint(times)
+	c.MinThreads = ts[idx]
+	c.MinCycles = minCycles
+	return c
+}
+
+// PolicyPoint is where a feedback policy lands on a curve.
+type PolicyPoint struct {
+	Policy     string
+	Run        core.RunResult
+	NormTime   float64 // vs the curve's 1-thread base
+	OverMinPct float64 // percent above the curve's minimum
+}
+
+func policyPoint(o Options, name string, pol core.Policy, c Curve) PolicyPoint {
+	r := core.RunPolicy(o.Cfg, factory(name), pol)
+	base := c.Points[0].Cycles
+	return PolicyPoint{
+		Policy:     pol.Name(),
+		Run:        r,
+		NormTime:   float64(r.TotalCycles) / float64(base),
+		OverMinPct: 100 * (float64(r.TotalCycles)/float64(c.MinCycles) - 1),
+	}
+}
+
+// formatCurve renders a curve (and optional policy points) as the
+// text analogue of the paper's figure panels.
+func formatCurve(b *strings.Builder, c Curve, pts ...PolicyPoint) {
+	fmt.Fprintf(b, "  %-10s %8s %10s %9s %8s\n", c.Workload, "threads", "cycles", "norm", "bus")
+	for _, p := range c.Points {
+		marker := ""
+		if p.Threads == c.MinThreads {
+			marker = "  <- min"
+		}
+		fmt.Fprintf(b, "  %-10s %8d %10d %9.3f %7.1f%%%s\n",
+			"", p.Threads, p.Cycles, p.NormTime, 100*p.BusUtil, marker)
+	}
+	for _, pp := range pts {
+		fmt.Fprintf(b, "  %-10s %s -> %s, norm %.3f (%.1f%% above min), power %.2f\n",
+			"", pp.Policy, threadsLabel(pp.Run), pp.NormTime, pp.OverMinPct, pp.Run.AvgActiveCores)
+	}
+}
+
+// chosenThreads summarizes a run's decision (single-kernel runs).
+func chosenThreads(r core.RunResult) int {
+	if len(r.Kernels) == 0 {
+		return 0
+	}
+	return r.Kernels[0].Decision.Threads
+}
+
+// threadsLabel renders per-kernel decisions ("7 threads" or
+// "gen=32, boxmuller=7 threads").
+func threadsLabel(r core.RunResult) string {
+	if len(r.Kernels) == 1 {
+		return fmt.Sprintf("%d thread(s)", r.Kernels[0].Decision.Threads)
+	}
+	parts := make([]string, len(r.Kernels))
+	for i, k := range r.Kernels {
+		parts[i] = fmt.Sprintf("%s=%d", k.Kernel, k.Decision.Threads)
+	}
+	return strings.Join(parts, ", ") + " threads"
+}

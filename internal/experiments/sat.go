@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/workloads"
+)
+
+// Fig08 reproduces Figure 8: SAT's placement on the baseline curves
+// of the four synchronization-limited applications (PageMine, ISort,
+// GSearch, EP). The paper reports SAT within 1% of the minimum
+// execution time for all four.
+type Fig08 struct {
+	Panels []Fig08Panel
+}
+
+// Fig08Panel is one application's panel.
+type Fig08Panel struct {
+	Curve Curve
+	SAT   PolicyPoint
+}
+
+// Fig08Workloads lists the panel order.
+var Fig08Workloads = []string{"pagemine", "isort", "gsearch", "ep"}
+
+// RunFig08 executes the experiment.
+func RunFig08(o Options) Fig08 {
+	var f Fig08
+	for _, name := range Fig08Workloads {
+		c := sweep(o, name)
+		f.Panels = append(f.Panels, Fig08Panel{
+			Curve: c,
+			SAT:   policyPoint(o, name, core.SAT{}, c),
+		})
+	}
+	return f
+}
+
+// String renders the figure.
+func (f Fig08) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: SAT on synchronization-limited applications\n")
+	for _, p := range f.Panels {
+		formatCurve(&b, p.Curve, p.SAT)
+	}
+	return b.String()
+}
+
+// Fig09 reproduces Figure 9: the best number of threads for PageMine
+// as the page size varies from 1KB to 25KB. The paper's best count
+// grows from ~2 at 1KB to ~13 at 25KB — the reason a static choice
+// tuned for one input set is wrong for another.
+type Fig09 struct {
+	PageBytes   []int
+	BestThreads []int
+	SATThreads  []int
+}
+
+// Fig09PageSizes are the swept page sizes (bytes).
+var Fig09PageSizes = []int{1 << 10, 2560, 5280, 10 << 10, 15 << 10, 20 << 10, 25 << 10}
+
+// RunFig09 executes the experiment.
+func RunFig09(o Options) Fig09 {
+	var f Fig09
+	for _, pb := range Fig09PageSizes {
+		params := workloads.DefaultPageMineParams()
+		params.PageBytes = pb
+		fac := func(m *machine.Machine) core.Workload { return workloads.NewPageMine(m, params) }
+		runs := core.Sweep(o.Cfg, fac, o.threads())
+		times := make([]uint64, len(runs))
+		for i, r := range runs {
+			times[i] = r.TotalCycles
+		}
+		best := o.threads()[fewestIdx(times)]
+		sat := core.RunPolicy(o.Cfg, fac, core.SAT{})
+		f.PageBytes = append(f.PageBytes, pb)
+		f.BestThreads = append(f.BestThreads, best)
+		f.SATThreads = append(f.SATThreads, chosenThreads(sat))
+	}
+	return f
+}
+
+// fewestIdx picks the fewest threads within 1% of the minimum — the
+// paper's definition of "best number of threads".
+func fewestIdx(times []uint64) int {
+	best := times[0]
+	for _, t := range times {
+		if t < best {
+			best = t
+		}
+	}
+	limit := float64(best) * 1.01
+	for i, t := range times {
+		if float64(t) <= limit {
+			return i
+		}
+	}
+	return 0
+}
+
+// String renders the figure.
+func (f Fig09) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: best thread count vs PageMine page size\n")
+	fmt.Fprintf(&b, "  %10s %6s %4s\n", "page-bytes", "best", "SAT")
+	for i := range f.PageBytes {
+		fmt.Fprintf(&b, "  %10d %6d %4d\n", f.PageBytes[i], f.BestThreads[i], f.SATThreads[i])
+	}
+	return b.String()
+}
+
+// Fig10 reproduces Figure 10: PageMine's curves for 2.5KB and 10KB
+// pages with SAT's choice marked — SAT adapts to the input set.
+type Fig10 struct {
+	Small, Large Curve
+	SATSmall     PolicyPoint
+	SATLarge     PolicyPoint
+}
+
+// RunFig10 executes the experiment.
+func RunFig10(o Options) Fig10 {
+	run := func(pageBytes int) (Curve, PolicyPoint) {
+		params := workloads.DefaultPageMineParams()
+		params.PageBytes = pageBytes
+		fac := func(m *machine.Machine) core.Workload { return workloads.NewPageMine(m, params) }
+		ts := o.threads()
+		runs := core.Sweep(o.Cfg, fac, ts)
+		c := Curve{Workload: fmt.Sprintf("pagemine-%dB", pageBytes)}
+		base := runs[0].TotalCycles
+		times := make([]uint64, len(runs))
+		for i, r := range runs {
+			times[i] = r.TotalCycles
+			c.Points = append(c.Points, SweepPoint{
+				Threads:  ts[i],
+				Cycles:   r.TotalCycles,
+				NormTime: float64(r.TotalCycles) / float64(base),
+				BusUtil:  machine.BusUtilization(r.BusBusyCycles, r.TotalCycles),
+				Power:    r.AvgActiveCores,
+			})
+		}
+		idx := fewestIdx(times)
+		c.MinThreads, c.MinCycles = ts[idx], times[idx]
+		sat := core.RunPolicy(o.Cfg, fac, core.SAT{})
+		pp := PolicyPoint{
+			Policy:   "SAT",
+			Run:      sat,
+			NormTime: float64(sat.TotalCycles) / float64(base),
+		}
+		var minAll uint64 = times[0]
+		for _, t := range times {
+			if t < minAll {
+				minAll = t
+			}
+		}
+		pp.OverMinPct = 100 * (float64(sat.TotalCycles)/float64(minAll) - 1)
+		return c, pp
+	}
+	var f Fig10
+	f.Small, f.SATSmall = run(2560)
+	f.Large, f.SATLarge = run(10 << 10)
+	return f
+}
+
+// String renders the figure.
+func (f Fig10) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: SAT adapts to PageMine page size (2.5KB and 10KB)\n")
+	formatCurve(&b, f.Small, f.SATSmall)
+	formatCurve(&b, f.Large, f.SATLarge)
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSMTDecisionsTrackLimiters(t *testing.T) {
+	s := RunSMT(testOptions())
+	if len(s.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(s.Rows))
+	}
+	byName := map[string]SMTRow{}
+	for _, r := range s.Rows {
+		byName[r.Workload] = r
+	}
+	// The limiters are machine resources that SMT does not change, so
+	// the CS- and BW-limited decisions must stay (nearly) the same.
+	for _, name := range []string{"pagemine", "ed"} {
+		r := byName[name]
+		if diff := r.SMTThreads - r.BaseThreads; diff < -2 || diff > 2 {
+			t.Errorf("%s: threads moved from %.1f to %.1f under SMT", name, r.BaseThreads, r.SMTThreads)
+		}
+	}
+	// The scalable workload must exploit the extra contexts.
+	bs := byName["bscholes"]
+	if bs.SMTThreads <= bs.BaseThreads {
+		t.Errorf("bscholes: SMT threads %.1f not above base %.1f", bs.SMTThreads, bs.BaseThreads)
+	}
+	// Power is measured in cores and cannot exceed the core count.
+	for _, r := range s.Rows {
+		if r.SMTPower > 32.01 {
+			t.Errorf("%s: SMT power %.2f exceeds the 32-core budget", r.Workload, r.SMTPower)
+		}
+	}
+}
+
+func TestSMTRenders(t *testing.T) {
+	s := SMT{Rows: []SMTRow{{Workload: "x", BaseThreads: 7, SMTThreads: 7}}}
+	if !strings.Contains(s.String(), "Section 9") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(s.CSV(), "x,7.00,7.00") {
+		t.Errorf("csv wrong:\n%s", s.CSV())
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fdt/internal/machine"
+	"fdt/internal/mem"
+	"fdt/internal/workloads"
+)
+
+// Table1 renders the simulated machine configuration in the shape of
+// the paper's Table 1.
+func Table1(cfg machine.Config) string {
+	m := cfg.Mem
+	var b strings.Builder
+	b.WriteString("Table 1: configuration of the simulated machine\n")
+	row := func(k, v string) { fmt.Fprintf(&b, "  %-14s %s\n", k, v) }
+	row("System", fmt.Sprintf("%d-core CMP with shared L3 cache", m.Cores))
+	row("Core", fmt.Sprintf("in-order, %d-wide; %dKB write-through private L1 (lat %d)",
+		cfg.IssueWidth, m.L1Bytes>>10, m.L1Lat))
+	row("L2", fmt.Sprintf("%dKB, %d-way, inclusive private (lat %d)", m.L2Bytes>>10, m.L2Ways, m.L2Lat))
+	row("Interconnect", fmt.Sprintf("bidirectional ring, %d-cycle hop latency", m.RingHopLat))
+	row("Coherence", coherenceDesc(m))
+	row("Shared L3", fmt.Sprintf("%dMB, %d-way, %d banks, %d-cycle, 64B lines, LRU",
+		m.L3Bytes>>20, m.L3Ways, m.L3Banks, m.L3Lat))
+	row("Data bus", fmt.Sprintf("split-transaction, %d-cycle latency, one %dB line per %d cycles peak",
+		m.BusLat, m.LineBytes, m.BusCyclesPerLine))
+	row("Memory", fmt.Sprintf("%d DRAM banks, row buffers (hit %d / miss %d), bank conflicts modeled",
+		m.DRAMBanks, m.DRAMRowHitLat, m.DRAMRowMissLat))
+	return b.String()
+}
+
+func coherenceDesc(m mem.Config) string {
+	if m.ModelCoherence {
+		return "distributed directory-based MESI"
+	}
+	return "disabled (ablation)"
+}
+
+// Table2 renders the workload table in the shape of the paper's
+// Table 2.
+func Table2() string {
+	var b strings.Builder
+	b.WriteString("Table 2: simulated workloads\n")
+	fmt.Fprintf(&b, "  %-12s %-10s %-28s %s\n", "type", "workload", "problem", "input")
+	for _, c := range []workloads.Class{workloads.CSLimited, workloads.BWLimited, workloads.Scalable} {
+		for _, i := range workloads.ByClass(c) {
+			fmt.Fprintf(&b, "  %-12s %-10s %-28s %s\n", c, i.Name, i.Problem, i.Input)
+		}
+	}
+	return b.String()
+}

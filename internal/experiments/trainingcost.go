@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fdt/internal/core"
+)
+
+// TrainingCostRow quantifies FDT's runtime overhead for one workload:
+// how many iterations trained, what fraction of the run they took,
+// and how training terminated.
+type TrainingCostRow struct {
+	Workload string
+	Kernel   string
+	// TrainIters / TotalIters is the sampled fraction (paper: at
+	// most 1%, usually far less thanks to the stability and
+	// early-out terminations).
+	TrainIters, TotalIters int
+	// TrainPct is training time as a percentage of the whole run.
+	TrainPct float64
+	Threads  int
+}
+
+// TrainingCost reports the overhead table for all twelve workloads
+// under SAT+BAT — the quantitative backing for the paper's "requires
+// minimal support ... leverages existing performance counters" claim:
+// the technique's cost is a handful of single-threaded iterations.
+type TrainingCost struct {
+	Rows []TrainingCostRow
+}
+
+// RunTrainingCost executes the experiment.
+func RunTrainingCost(o Options) TrainingCost {
+	var t TrainingCost
+	for _, name := range AllWorkloads {
+		r := core.RunPolicy(o.Cfg, factory(name), core.Combined{})
+		for _, k := range r.Kernels {
+			t.Rows = append(t.Rows, TrainingCostRow{
+				Workload:   name,
+				Kernel:     k.Kernel,
+				TrainIters: k.TrainIters,
+				TrainPct:   100 * float64(k.TrainCycles) / float64(r.TotalCycles),
+				Threads:    k.Decision.Threads,
+			})
+		}
+	}
+	return t
+}
+
+// String renders the table.
+func (t TrainingCost) String() string {
+	var b strings.Builder
+	b.WriteString("FDT training cost (SAT+BAT, per kernel)\n")
+	fmt.Fprintf(&b, "  %-22s %10s %10s %8s\n", "kernel", "trainiters", "train%run", "threads")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-22s %10d %9.1f%% %8d\n", r.Kernel, r.TrainIters, r.TrainPct, r.Threads)
+	}
+	return b.String()
+}
+
+// CSV renders the table as CSV.
+func (t TrainingCost) CSV() string {
+	var b strings.Builder
+	b.WriteString("workload,kernel,train_iters,train_pct,threads\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%.3f,%d\n", r.Workload, r.Kernel, r.TrainIters, r.TrainPct, r.Threads)
+	}
+	return b.String()
+}

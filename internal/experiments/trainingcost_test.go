@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrainingCostBounded(t *testing.T) {
+	tc := RunTrainingCost(testOptions())
+	if len(tc.Rows) < 12 {
+		t.Fatalf("%d rows, want >= 12 (one per kernel)", len(tc.Rows))
+	}
+	for _, r := range tc.Rows {
+		if r.TrainIters < 2 {
+			t.Errorf("%s trained %d iterations, want >= 2 (warmup + measurement)", r.Kernel, r.TrainIters)
+		}
+		if r.TrainIters > 20 {
+			t.Errorf("%s trained %d iterations — early termination broken", r.Kernel, r.TrainIters)
+		}
+		if r.TrainPct > 20 {
+			t.Errorf("%s spent %.1f%% of the run training", r.Kernel, r.TrainPct)
+		}
+	}
+}
+
+func TestTrainingCostRenders(t *testing.T) {
+	tc := TrainingCost{Rows: []TrainingCostRow{{Workload: "w", Kernel: "k", TrainIters: 3, TrainPct: 1.5, Threads: 7}}}
+	if !strings.Contains(tc.String(), "k") {
+		t.Error("render missing kernel")
+	}
+	if !strings.Contains(tc.CSV(), "w,k,3,1.500,7") {
+		t.Errorf("csv wrong:\n%s", tc.CSV())
+	}
+}

@@ -1,0 +1,178 @@
+// Package machine composes the simulated CMP: the event engine, the
+// memory system, per-core CPUs, the power meter and the performance
+// counters — the "simulated machine" of Table 1 that workloads run on
+// and that the FDT runtime controls.
+package machine
+
+import (
+	"fmt"
+
+	"fdt/internal/counters"
+	"fdt/internal/mem"
+	"fdt/internal/power"
+	"fdt/internal/sim"
+)
+
+// Config describes a machine. Zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// Mem is the memory-system configuration (Table 1 by default).
+	Mem mem.Config
+	// IssueWidth is the per-core issue width (Table 1: 2-wide).
+	IssueWidth int
+	// ForkCost is the cycles a master thread spends entering a
+	// parallel region (dispatching work to a pooled worker team).
+	ForkCost uint64
+	// SMTContexts is the number of hardware thread contexts per core.
+	// The paper assumes 1 ("no SMT on individual cores") but argues
+	// its conclusions carry over to SMT-enabled CMPs (Section 9);
+	// setting 2 models such a machine: co-resident contexts share
+	// their core's issue width and private caches, and a core is
+	// active (for the power metric) while any of its contexts is.
+	SMTContexts int
+}
+
+// DefaultConfig returns the paper's 32-core machine.
+func DefaultConfig() Config {
+	return Config{
+		Mem:         mem.DefaultConfig(),
+		IssueWidth:  2,
+		ForkCost:    100,
+		SMTContexts: 1,
+	}
+}
+
+// WithSMT returns a copy with the given contexts per core.
+func (c Config) WithSMT(contexts int) Config {
+	c.SMTContexts = contexts
+	return c
+}
+
+// WithCores returns a copy with the core count replaced.
+func (c Config) WithCores(n int) Config {
+	c.Mem.Cores = n
+	return c
+}
+
+// WithBandwidth returns a copy with off-chip bandwidth scaled by
+// factor (Fig 13's machines).
+func (c Config) WithBandwidth(factor float64) Config {
+	c.Mem = c.Mem.ScaleBandwidth(factor)
+	return c
+}
+
+// Machine is one simulated CMP instance. A Machine simulates exactly
+// one program execution; build a fresh Machine per run.
+type Machine struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	Mem   *mem.System
+	Ctrs  *counters.Set
+	Power *power.Meter
+
+	// ctxBusy tracks hardware-context occupancy; coreLoad counts the
+	// occupied contexts per core; coreSince records when each core
+	// last became active (for the power integral).
+	ctxBusy   []bool
+	coreLoad  []int
+	coreSince []uint64
+}
+
+// New builds a machine.
+func New(cfg Config) (*Machine, error) {
+	ctrs := counters.NewSet()
+	ms, err := mem.NewSystem(cfg.Mem, ctrs)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.IssueWidth <= 0 {
+		return nil, fmt.Errorf("machine: IssueWidth = %d, want > 0", cfg.IssueWidth)
+	}
+	if cfg.SMTContexts < 1 || cfg.SMTContexts > 4 {
+		return nil, fmt.Errorf("machine: SMTContexts = %d, want 1..4", cfg.SMTContexts)
+	}
+	return &Machine{
+		Cfg:       cfg,
+		Eng:       sim.NewEngine(),
+		Mem:       ms,
+		Ctrs:      ctrs,
+		Power:     power.NewMeter(cfg.Mem.Cores),
+		ctxBusy:   make([]bool, cfg.Mem.Cores*cfg.SMTContexts),
+		coreLoad:  make([]int, cfg.Mem.Cores),
+		coreSince: make([]uint64, cfg.Mem.Cores),
+	}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Machine {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Cores reports the number of cores on the chip.
+func (m *Machine) Cores() int { return m.Cfg.Mem.Cores }
+
+// Contexts reports the number of hardware thread contexts — the
+// maximum team size (equals Cores on the paper's no-SMT machine).
+func (m *Machine) Contexts() int { return m.Cfg.Mem.Cores * m.Cfg.SMTContexts }
+
+// CoreOf maps a hardware context to its core. Contexts are numbered
+// so that a team of up to Cores threads spreads one per core before
+// any core hosts a second context (the placement every OS uses).
+func (m *Machine) CoreOf(ctx int) int { return ctx % m.Cfg.Mem.Cores }
+
+// Alloc reserves simulated address space (see mem.System.Alloc).
+func (m *Machine) Alloc(size int) uint64 { return m.Mem.Alloc(size) }
+
+// OccupyContext marks a hardware context occupied by a thread at
+// cycle now. A core becomes active — and starts accruing power — when
+// its first context is occupied. Double occupancy is a runtime bug
+// and panics. Returns the context's core.
+func (m *Machine) OccupyContext(ctx int, now uint64) (core int) {
+	if m.ctxBusy[ctx] {
+		panic(fmt.Sprintf("machine: context %d already occupied", ctx))
+	}
+	m.ctxBusy[ctx] = true
+	core = m.CoreOf(ctx)
+	if m.coreLoad[core] == 0 {
+		m.coreSince[core] = now
+	}
+	m.coreLoad[core]++
+	return core
+}
+
+// ReleaseContext marks a context free at cycle now; when the core's
+// last context leaves, its active interval is charged to the power
+// meter.
+func (m *Machine) ReleaseContext(ctx int, now uint64) {
+	if !m.ctxBusy[ctx] {
+		panic(fmt.Sprintf("machine: releasing idle context %d", ctx))
+	}
+	m.ctxBusy[ctx] = false
+	core := m.CoreOf(ctx)
+	m.coreLoad[core]--
+	if m.coreLoad[core] == 0 {
+		m.Power.AddActive(core, m.coreSince[core], now)
+	}
+}
+
+// CoreLoad reports how many contexts are active on a core — the
+// divisor for shared issue width under SMT.
+func (m *Machine) CoreLoad(core int) int { return m.coreLoad[core] }
+
+// BusUtilization reports the fraction of the window during which the
+// off-chip data bus carried data, given busy-cycle samples at the
+// window's edges.
+func BusUtilization(busyDelta, windowCycles uint64) float64 {
+	if windowCycles == 0 {
+		return 0
+	}
+	u := float64(busyDelta) / float64(windowCycles)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,75 @@
+package mem
+
+import (
+	"fdt/internal/counters"
+	"fdt/internal/sim"
+)
+
+// Bus models the split-transaction, pipelined off-chip bus of Table 1.
+// The address/command phase costs a fixed latency and is assumed
+// pipelined (it never becomes the bottleneck); the data phase occupies
+// the shared data bus for BusCyclesPerLine cycles per line, which
+// caps peak bandwidth at one line per BusCyclesPerLine cycles — the
+// quantity the paper's BAT saturates.
+type Bus struct {
+	data *sim.Resource
+	lat  uint64
+	perL uint64
+
+	busy *counters.Counter
+	txns *counters.Counter
+	wait *counters.Counter
+}
+
+// NewBus builds the off-chip bus and registers its counters
+// (counters.BusBusyCycles, counters.BusTransactions) in the set.
+func NewBus(cfg Config, ctrs *counters.Set) *Bus {
+	return &Bus{
+		data: sim.NewResource("offchip-bus"),
+		lat:  cfg.BusLat,
+		perL: cfg.BusCyclesPerLine,
+		busy: ctrs.Counter(counters.BusBusyCycles),
+		txns: ctrs.Counter(counters.BusTransactions),
+		wait: ctrs.Counter(counters.BusWaitCycles),
+	}
+}
+
+// Latency reports the one-way command latency.
+func (b *Bus) Latency() uint64 { return b.lat }
+
+// CyclesPerLine reports the data-phase occupancy of one line.
+func (b *Bus) CyclesPerLine() uint64 { return b.perL }
+
+// TransferLine performs the data phase of one line transfer on behalf
+// of process p: it waits for the data bus, holds it for the line's
+// occupancy, and accounts the busy cycles.
+func (b *Bus) TransferLine(p *sim.Proc) {
+	t0 := p.Now()
+	start := b.data.Acquire(p, b.perL)
+	b.wait.Add(start - t0)
+	p.WaitUntil(start + b.perL)
+	b.busy.Add(b.perL)
+	b.txns.Inc()
+}
+
+// PostTransfer schedules one line's data phase without blocking the
+// caller, starting no earlier than `earliest`, and returns the cycle
+// at which the transfer completes. Posted transfers still consume
+// bandwidth, delaying later demand transfers.
+func (b *Bus) PostTransfer(earliest uint64) (done uint64) {
+	start := b.data.ReserveAt(earliest, b.perL)
+	b.busy.Add(b.perL)
+	b.txns.Inc()
+	return start + b.perL
+}
+
+// PostWriteback schedules a line writeback on the data bus without
+// blocking the caller: evictions are fire-and-forget from the core's
+// point of view.
+func (b *Bus) PostWriteback(now uint64) {
+	b.PostTransfer(now)
+}
+
+// BusyCycles reports cumulative data-bus busy cycles (the counter BAT
+// samples).
+func (b *Bus) BusyCycles() uint64 { return b.busy.Read() }

@@ -1,0 +1,177 @@
+package mem
+
+// Cache is a set-associative, LRU, line-addressed cache tag array.
+// It tracks only tags and state bits — data values live in the
+// workload's own Go memory; the simulator needs timing, not contents.
+//
+// All methods take line addresses (byte address / line size). A cache
+// used as an L3 bank shard receives bank-local line addresses (line /
+// banks) so sets spread correctly.
+type Cache struct {
+	sets int
+	ways int
+	tick uint64
+	arr  []cacheLine // sets*ways, row-major
+
+	// Statistics.
+	Hits   uint64
+	Misses uint64
+	Evicts uint64
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// NewCache builds a cache of the given capacity in bytes with the
+// given associativity and line size. Capacity must be an exact
+// multiple of ways*lineBytes and the resulting set count a power of
+// two.
+func NewCache(capacityBytes, ways, lineBytes int) *Cache {
+	lines := capacityBytes / lineBytes
+	sets := lines / ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("mem: cache set count must be a positive power of two")
+	}
+	return &Cache{
+		sets: sets,
+		ways: ways,
+		arr:  make([]cacheLine, sets*ways),
+	}
+}
+
+// Sets reports the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways reports the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) set(lineAddr uint64) []cacheLine {
+	s := int(lineAddr) & (c.sets - 1)
+	return c.arr[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup probes for the line. On a hit it refreshes LRU state, sets
+// the dirty bit when markDirty is true, and returns true.
+func (c *Cache) Lookup(lineAddr uint64, markDirty bool) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			c.tick++
+			set[i].lru = c.tick
+			if markDirty {
+				set[i].dirty = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Contains probes for the line without touching LRU or statistics.
+func (c *Cache) Contains(lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places the line (overwriting any stale copy) and reports the
+// victim if a valid line had to be evicted.
+func (c *Cache) Insert(lineAddr uint64, dirty bool) (victim uint64, victimDirty, evicted bool) {
+	set := c.set(lineAddr)
+	c.tick++
+	// Refresh an existing copy in place.
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lru = c.tick
+			if dirty {
+				set[i].dirty = true
+			}
+			return 0, false, false
+		}
+	}
+	// Prefer an invalid way.
+	for i := range set {
+		if !set[i].valid {
+			set[i] = cacheLine{tag: lineAddr, valid: true, dirty: dirty, lru: c.tick}
+			return 0, false, false
+		}
+	}
+	// Evict the LRU way.
+	vi := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	victim, victimDirty = set[vi].tag, set[vi].dirty
+	set[vi] = cacheLine{tag: lineAddr, valid: true, dirty: dirty, lru: c.tick}
+	c.Evicts++
+	return victim, victimDirty, true
+}
+
+// Invalidate drops the line if present, reporting whether it was
+// present and whether it was dirty (the caller owes a writeback for
+// dirty invalidations).
+func (c *Cache) Invalidate(lineAddr uint64) (present, wasDirty bool) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			present, wasDirty = true, set[i].dirty
+			set[i] = cacheLine{}
+			return present, wasDirty
+		}
+	}
+	return false, false
+}
+
+// MarkDirty sets the dirty bit of the line if present, without
+// touching LRU order or statistics, and reports whether the line was
+// present (used for posted writebacks from a private L2 into the L3).
+func (c *Cache) MarkDirty(lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Clean clears the dirty bit of the line if present (used when the
+// directory forces a writeback from a remote owner).
+func (c *Cache) Clean(lineAddr uint64) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].dirty = false
+			return
+		}
+	}
+}
+
+// ValidLines reports how many lines are currently valid (test aid).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.arr {
+		if c.arr[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats clears hit/miss/evict counters without touching contents.
+func (c *Cache) ResetStats() {
+	c.Hits, c.Misses, c.Evicts = 0, 0, 0
+}

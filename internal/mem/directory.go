@@ -1,0 +1,149 @@
+package mem
+
+import (
+	"math/bits"
+
+	"fdt/internal/counters"
+)
+
+// Directory implements the distributed directory-based MESI protocol
+// of Table 1. Each L3 bank owns the directory slice for its lines; the
+// System layer charges ring latency to reach the slice, so the
+// Directory itself is pure bookkeeping: who caches each line and in
+// what state.
+//
+// States are tracked per line as either Shared (any number of clean
+// copies) or Modified (exactly one owner whose private copy is
+// authoritative). Exclusive is folded into Modified-clean: the timing
+// consequences the paper's limiters depend on — invalidation
+// round-trips and forced writebacks — are identical.
+type Directory struct {
+	entries map[uint64]dirEntry
+
+	invals *counters.Counter
+	wbs    *counters.Counter
+}
+
+type dirEntry struct {
+	sharers  uint64 // bitmask of cores with a copy
+	owner    int    // meaningful when modified
+	modified bool
+}
+
+// NewDirectory builds an empty directory and registers its counters.
+func NewDirectory(ctrs *counters.Set) *Directory {
+	return &Directory{
+		entries: make(map[uint64]dirEntry),
+		invals:  ctrs.Counter(counters.CoherenceInvalidations),
+		wbs:     ctrs.Counter(counters.CoherenceWritebacks),
+	}
+}
+
+// ReadMiss records core obtaining a shared copy of line. If another
+// core held the line modified, that owner is returned with
+// needWriteback=true: the caller must charge the ownership-transfer
+// latency and clean the owner's private copy.
+func (d *Directory) ReadMiss(line uint64, core int) (needWriteback bool, owner int) {
+	e := d.entries[line]
+	if e.modified && e.owner != core {
+		needWriteback = true
+		owner = e.owner
+		d.wbs.Inc()
+		e.modified = false
+	}
+	e.sharers |= 1 << uint(core)
+	d.entries[line] = e
+	return needWriteback, owner
+}
+
+// WriteMiss records core obtaining exclusive ownership of line. It
+// returns the set of other cores whose copies must be invalidated and,
+// if a different core held the line modified, that owner with
+// needWriteback=true.
+func (d *Directory) WriteMiss(line uint64, core int) (invalidate []int, needWriteback bool, owner int) {
+	e := d.entries[line]
+	self := uint64(1) << uint(core)
+	others := e.sharers &^ self
+	if others != 0 {
+		for c := 0; others != 0; {
+			tz := bits.TrailingZeros64(others)
+			c = tz
+			invalidate = append(invalidate, c)
+			others &^= 1 << uint(tz)
+		}
+		d.invals.Add(uint64(len(invalidate)))
+	}
+	if e.modified && e.owner != core {
+		needWriteback = true
+		owner = e.owner
+		d.wbs.Inc()
+	}
+	d.entries[line] = dirEntry{sharers: self, owner: core, modified: true}
+	return invalidate, needWriteback, owner
+}
+
+// Evict records that core no longer caches line (private-hierarchy
+// eviction). When the last sharer leaves, the entry is dropped.
+func (d *Directory) Evict(line uint64, core int) {
+	e, ok := d.entries[line]
+	if !ok {
+		return
+	}
+	e.sharers &^= 1 << uint(core)
+	if e.sharers == 0 {
+		delete(d.entries, line)
+		return
+	}
+	if e.modified && e.owner == core {
+		e.modified = false
+	}
+	d.entries[line] = e
+}
+
+// Drop removes the directory entry entirely (L3 back-invalidation) and
+// returns the cores that held copies so the caller can invalidate
+// their private caches.
+func (d *Directory) Drop(line uint64) (holders []int) {
+	e, ok := d.entries[line]
+	if !ok {
+		return nil
+	}
+	s := e.sharers
+	for s != 0 {
+		tz := bits.TrailingZeros64(s)
+		holders = append(holders, tz)
+		s &^= 1 << uint(tz)
+	}
+	delete(d.entries, line)
+	return holders
+}
+
+// Sharers reports the cores currently recorded as caching line
+// (test aid).
+func (d *Directory) Sharers(line uint64) []int {
+	e, ok := d.entries[line]
+	if !ok {
+		return nil
+	}
+	var out []int
+	s := e.sharers
+	for s != 0 {
+		tz := bits.TrailingZeros64(s)
+		out = append(out, tz)
+		s &^= 1 << uint(tz)
+	}
+	return out
+}
+
+// IsModified reports whether line is in Modified state and by whom
+// (test aid).
+func (d *Directory) IsModified(line uint64) (bool, int) {
+	e, ok := d.entries[line]
+	if !ok || !e.modified {
+		return false, -1
+	}
+	return true, e.owner
+}
+
+// Entries reports how many lines the directory currently tracks.
+func (d *Directory) Entries() int { return len(d.entries) }

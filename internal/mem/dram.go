@@ -1,0 +1,130 @@
+package mem
+
+import (
+	"fdt/internal/counters"
+	"fdt/internal/sim"
+)
+
+// DRAM models the Table-1 main memory: 32 banks, roughly 200-cycle
+// bank access, with open rows (row buffers) and bank conflicts.
+// Lines are interleaved across banks with an XOR-folded hash (the
+// standard bank-hashing scheme real memory controllers use), so both
+// sequential streams and power-of-two strides spread across banks and
+// extract bank-level parallelism; the row buffer tracks the 4KB row
+// most recently touched in each bank, giving streams row hits and
+// conflicting access patterns the row-miss penalty.
+type DRAM struct {
+	banks    []*dramBank
+	bankBits uint
+	lineSz   uint64
+	linesRow uint64
+	hitLat   uint64
+	missLat  uint64
+	modelRow bool
+
+	rowHits   *counters.Counter
+	rowMisses *counters.Counter
+	bankWait  *counters.Counter
+}
+
+type dramBank struct {
+	res     *sim.Resource
+	openRow uint64
+	hasOpen bool
+}
+
+// NewDRAM builds main memory from the configuration and registers its
+// row-buffer counters in the set. The bank count must be a power of
+// two for the XOR fold (Table 1's 32 is).
+func NewDRAM(cfg Config, ctrs *counters.Set) *DRAM {
+	if cfg.DRAMBanks&(cfg.DRAMBanks-1) != 0 {
+		panic("mem: DRAM bank count must be a power of two")
+	}
+	bits := uint(0)
+	for 1<<bits < cfg.DRAMBanks {
+		bits++
+	}
+	d := &DRAM{
+		banks:     make([]*dramBank, cfg.DRAMBanks),
+		bankBits:  bits,
+		lineSz:    uint64(cfg.LineBytes),
+		linesRow:  uint64(cfg.DRAMRowBytes / cfg.LineBytes),
+		hitLat:    cfg.DRAMRowHitLat,
+		missLat:   cfg.DRAMRowMissLat,
+		modelRow:  cfg.ModelRowBuffer,
+		rowHits:   ctrs.Counter(counters.DRAMRowHits),
+		rowMisses: ctrs.Counter(counters.DRAMRowMisses),
+		bankWait:  ctrs.Counter(counters.DRAMBankWaitCycles),
+	}
+	for i := range d.banks {
+		d.banks[i] = &dramBank{res: sim.NewResource("dram-bank")}
+	}
+	return d
+}
+
+// bankAndRow maps a byte address to its bank and row. The bank is an
+// XOR fold of the line address (bank hashing); the row is the 4KB
+// region the line belongs to. Tracking the global row per bank is the
+// usual simulator simplification: it preserves the behaviour that
+// matters — streams get row hits, conflicting patterns get the
+// row-miss penalty.
+func (d *DRAM) bankAndRow(addr uint64) (int, uint64) {
+	line := addr / d.lineSz
+	row := line / d.linesRow
+	return int(BankHash(line, d.bankBits)), row
+}
+
+// BankHash XOR-folds a line address down to bankBits bits. Exported
+// so tests and the L3 bank mapping share one hashing definition.
+func BankHash(line uint64, bankBits uint) uint64 {
+	h := line ^ line>>bankBits ^ line>>(2*bankBits) ^ line>>(3*bankBits)
+	return h & (1<<bankBits - 1)
+}
+
+// Access performs one line access on behalf of process p: it waits for
+// the addressed bank, pays the row-hit or row-miss latency, and leaves
+// the row open. The caller is blocked for queueing plus access time.
+func (d *DRAM) Access(p *sim.Proc, addr uint64) {
+	bank, row := d.bankAndRow(addr)
+	b := d.banks[bank]
+	lat := d.missLat
+	if d.modelRow && b.hasOpen && b.openRow == row {
+		lat = d.hitLat
+		d.rowHits.Inc()
+	} else {
+		d.rowMisses.Inc()
+	}
+	b.hasOpen, b.openRow = d.modelRow, row
+	t0 := p.Now()
+	start := b.res.Acquire(p, lat)
+	d.bankWait.Add(start - t0)
+	p.WaitUntil(start + lat)
+}
+
+// PostAccess performs a posted (non-blocking) access starting no
+// earlier than `earliest` and returns its completion cycle. Used for
+// writebacks and store-buffer fills, which occupy the bank without
+// stalling a core.
+func (d *DRAM) PostAccess(earliest, addr uint64) (done uint64) {
+	bank, row := d.bankAndRow(addr)
+	b := d.banks[bank]
+	lat := d.missLat
+	if d.modelRow && b.hasOpen && b.openRow == row {
+		lat = d.hitLat
+		d.rowHits.Inc()
+	} else {
+		d.rowMisses.Inc()
+	}
+	b.hasOpen, b.openRow = d.modelRow, row
+	start := b.res.ReserveAt(earliest, lat)
+	return start + lat
+}
+
+// PostWrite is PostAccess for callers that do not need the
+// completion time.
+func (d *DRAM) PostWrite(now, addr uint64) {
+	d.PostAccess(now, addr)
+}
+
+// Banks reports the number of banks.
+func (d *DRAM) Banks() int { return len(d.banks) }

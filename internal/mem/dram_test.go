@@ -1,0 +1,140 @@
+package mem
+
+import (
+	"testing"
+
+	"fdt/internal/counters"
+	"fdt/internal/sim"
+)
+
+func dramUnderTest(modelRow bool) (*DRAM, *counters.Set, Config) {
+	cfg := DefaultConfig()
+	cfg.ModelRowBuffer = modelRow
+	ctrs := counters.NewSet()
+	return NewDRAM(cfg, ctrs), ctrs, cfg
+}
+
+// Lines 0 and 33 hash to the same bank (BankHash(33,5) == 0) and sit
+// in the same 4KB row (row 0); lines 0 and 66 share the bank but not
+// the row. The tests below use these fixed points of the hash.
+func TestBankHashFixedPoints(t *testing.T) {
+	if BankHash(0, 5) != 0 || BankHash(33, 5) != 0 || BankHash(66, 5) != 0 {
+		t.Fatalf("hash fixed points moved: %d %d %d",
+			BankHash(0, 5), BankHash(33, 5), BankHash(66, 5))
+	}
+	if 33/64 != 0 || 66/64 != 1 {
+		t.Fatal("row arithmetic changed")
+	}
+}
+
+func TestDRAMRowMissThenHit(t *testing.T) {
+	d, ctrs, cfg := dramUnderTest(true)
+	e := sim.NewEngine()
+	var t1, t2 uint64
+	e.Spawn("a", func(p *sim.Proc) {
+		d.Access(p, 0) // cold: row miss
+		t1 = p.Now()
+		d.Access(p, 33*64) // same bank, same 4KB row: row hit
+		t2 = p.Now() - t1
+	})
+	e.Run()
+	if t1 != cfg.DRAMRowMissLat {
+		t.Errorf("first access took %d, want row-miss %d", t1, cfg.DRAMRowMissLat)
+	}
+	if t2 != cfg.DRAMRowHitLat {
+		t.Errorf("second access took %d, want row-hit %d", t2, cfg.DRAMRowHitLat)
+	}
+	if ctrs.Counter(counters.DRAMRowHits).Read() != 1 || ctrs.Counter(counters.DRAMRowMisses).Read() != 1 {
+		t.Errorf("row counters = %s", ctrs)
+	}
+}
+
+func TestDRAMRowConflict(t *testing.T) {
+	d, _, cfg := dramUnderTest(true)
+	e := sim.NewEngine()
+	var second uint64
+	e.Spawn("a", func(p *sim.Proc) {
+		d.Access(p, 0)
+		start := p.Now()
+		// Line 66: same bank as line 0, different row: conflict.
+		d.Access(p, 66*64)
+		second = p.Now() - start
+	})
+	e.Run()
+	if second != cfg.DRAMRowMissLat {
+		t.Errorf("conflicting row took %d, want %d", second, cfg.DRAMRowMissLat)
+	}
+}
+
+func TestDRAMBanksOperateInParallel(t *testing.T) {
+	d, _, cfg := dramUnderTest(true)
+	e := sim.NewEngine()
+	var done []uint64
+	for i := 0; i < 4; i++ {
+		addr := uint64(i) * 64 // lines 0..3 hash to distinct banks
+		e.Spawn("p", func(p *sim.Proc) {
+			d.Access(p, addr)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	for _, fin := range done {
+		if fin != cfg.DRAMRowMissLat {
+			t.Errorf("parallel bank access finished at %d, want %d (no serialization)", fin, cfg.DRAMRowMissLat)
+		}
+	}
+}
+
+func TestDRAMSameBankSerializes(t *testing.T) {
+	d, _, cfg := dramUnderTest(true)
+	e := sim.NewEngine()
+	var done []uint64
+	for i := 0; i < 2; i++ {
+		addr := uint64(i) * 33 * 64 // lines 0 and 33: same bank, same row
+		e.Spawn("p", func(p *sim.Proc) {
+			d.Access(p, addr)
+			done = append(done, p.Now())
+		})
+	}
+	e.Run()
+	want0 := cfg.DRAMRowMissLat
+	want1 := cfg.DRAMRowMissLat + cfg.DRAMRowHitLat
+	if done[0] != want0 || done[1] != want1 {
+		t.Errorf("done = %v, want [%d %d]", done, want0, want1)
+	}
+}
+
+func TestDRAMRowBufferDisabled(t *testing.T) {
+	d, ctrs, cfg := dramUnderTest(false)
+	e := sim.NewEngine()
+	e.Spawn("a", func(p *sim.Proc) {
+		d.Access(p, 0)
+		d.Access(p, 64) // would be a hit with row buffers on
+	})
+	e.Run()
+	if e.Now() != 2*cfg.DRAMRowMissLat {
+		t.Errorf("elapsed = %d, want %d (all misses)", e.Now(), 2*cfg.DRAMRowMissLat)
+	}
+	if ctrs.Counter(counters.DRAMRowHits).Read() != 0 {
+		t.Error("row hits recorded with row buffer disabled")
+	}
+}
+
+func TestDRAMPostWriteDelaysLaterAccess(t *testing.T) {
+	d, _, cfg := dramUnderTest(true)
+	e := sim.NewEngine()
+	var elapsed uint64
+	e.Spawn("a", func(p *sim.Proc) {
+		d.PostWrite(p.Now(), 0) // occupies the bank without blocking
+		if p.Now() != 0 {
+			t.Error("PostWrite blocked the caller")
+		}
+		d.Access(p, 0) // must queue behind the posted write
+		elapsed = p.Now()
+	})
+	e.Run()
+	want := cfg.DRAMRowMissLat + cfg.DRAMRowHitLat
+	if elapsed != want {
+		t.Errorf("access after posted write finished at %d, want %d", elapsed, want)
+	}
+}

@@ -1,0 +1,106 @@
+package mem
+
+import (
+	"testing"
+
+	"fdt/internal/counters"
+	"fdt/internal/sim"
+)
+
+// TestEndToEndMissLatencyCalibration pins the demand-miss latency to
+// Table 1's "memory is 200 cycles away": a cold load from core 0 must
+// land in the 180-260 cycle band (the exact value depends on the ring
+// distance to the line's bank).
+func TestEndToEndMissLatencyCalibration(t *testing.T) {
+	s, e, _ := testSystem(t)
+	// Sample several lines to average over ring distances.
+	var total uint64
+	const n = 16
+	base := s.Alloc(n * 4096)
+	e.Spawn("t", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			t0 := p.Now()
+			s.Port(0).Load(p, base+uint64(i*4096))
+			total += p.Now() - t0
+			p.Advance(1000) // drain
+		}
+	})
+	e.Run()
+	avg := total / n
+	if avg < 180 || avg > 260 {
+		t.Errorf("average cold-miss latency = %d cycles, want ~215 (Table 1: 200 away)", avg)
+	}
+}
+
+// TestL3HitLatencyBand checks the on-chip shared-cache hit cost.
+func TestL3HitLatencyBand(t *testing.T) {
+	s, e, _ := testSystem(t)
+	addr := s.Alloc(64)
+	var hit uint64
+	e.Spawn("t", func(p *sim.Proc) {
+		s.Port(0).Load(p, addr) // core 0 fetches: line now in L3 (and core 0's L1/L2)
+		s.Port(1).Load(p, addr) // core 1: L3 hit
+		t0 := p.Now()
+		s.Port(2).Load(p, addr) // core 2: clean L3 hit, no writeback
+		hit = p.Now() - t0
+	})
+	e.Run()
+	// L1 + L2 + ring + port + L3 + ring: tens of cycles, far below a
+	// memory access.
+	if hit < 25 || hit > 80 {
+		t.Errorf("L3 hit cost %d cycles, want on-chip band 25-80", hit)
+	}
+}
+
+// TestPeakBusBandwidth saturates the bus from many cores and checks
+// the machine delivers exactly one line per BusCyclesPerLine cycles.
+func TestPeakBusBandwidth(t *testing.T) {
+	s, e, ctrs := testSystem(t)
+	const lines = 64
+	for c := 0; c < 16; c++ {
+		base := s.Alloc(lines * 64)
+		port := s.Port(c)
+		e.Spawn("c", func(p *sim.Proc) {
+			for l := 0; l < lines; l++ {
+				port.Load(p, base+uint64(l*64))
+			}
+		})
+	}
+	e.Run()
+	got := ctrs.Counter(counters.BusTransactions).Read()
+	minCycles := got * s.Cfg.BusCyclesPerLine
+	if e.Now() < minCycles {
+		t.Errorf("transferred %d lines in %d cycles — exceeds peak bandwidth (min %d)",
+			got, e.Now(), minCycles)
+	}
+	if float64(e.Now()) > 1.2*float64(minCycles) {
+		t.Errorf("16-way streaming took %d cycles for %d lines, want near peak %d",
+			e.Now(), got, minCycles)
+	}
+}
+
+// TestBandwidthScalingKnob checks ScaleBandwidth actually changes the
+// delivered rate.
+func TestBandwidthScalingKnob(t *testing.T) {
+	elapsed := func(factor float64) uint64 {
+		cfg := DefaultConfig().ScaleBandwidth(factor)
+		ctrs := counters.NewSet()
+		s := MustNewSystem(cfg, ctrs)
+		e := sim.NewEngine()
+		for c := 0; c < 8; c++ {
+			base := s.Alloc(64 * 64)
+			port := s.Port(c)
+			e.Spawn("c", func(p *sim.Proc) {
+				for l := 0; l < 64; l++ {
+					port.Load(p, base+uint64(l*64))
+				}
+			})
+		}
+		e.Run()
+		return e.Now()
+	}
+	slow, fast := elapsed(0.5), elapsed(2)
+	if fast >= slow {
+		t.Errorf("2x-bandwidth machine (%d cycles) not faster than 0.5x (%d)", fast, slow)
+	}
+}

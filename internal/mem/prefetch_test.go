@@ -1,0 +1,94 @@
+package mem
+
+import (
+	"testing"
+
+	"fdt/internal/counters"
+	"fdt/internal/sim"
+)
+
+func prefetchSystem(t *testing.T) (*System, *sim.Engine, *counters.Set) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.PrefetchNextLine = true
+	ctrs := counters.NewSet()
+	s, err := NewSystem(cfg, ctrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, sim.NewEngine(), ctrs
+}
+
+func TestPrefetchNextLineHitsL2(t *testing.T) {
+	s, e, ctrs := prefetchSystem(t)
+	base := s.Alloc(256)
+	var secondCost uint64
+	run(e, func(p *sim.Proc) {
+		s.Port(0).Load(p, base) // miss; prefetches base+64
+		t0 := p.Now()
+		s.Port(0).Load(p, base+64) // must hit L2
+		secondCost = p.Now() - t0
+	})
+	if secondCost > s.Cfg.L1Lat+s.Cfg.L2Lat {
+		t.Errorf("prefetched line cost %d cycles, want an L2 hit", secondCost)
+	}
+	if got := ctrs.Counter(counters.L2Prefetches).Read(); got == 0 {
+		t.Error("no prefetches counted")
+	}
+}
+
+func TestPrefetchConsumesBandwidth(t *testing.T) {
+	s, e, ctrs := prefetchSystem(t)
+	base := s.Alloc(256)
+	run(e, func(p *sim.Proc) {
+		s.Port(0).Load(p, base)
+		p.Advance(10000)
+	})
+	// One demand fetch + one prefetch: two line transfers.
+	if got := ctrs.Counter(counters.BusTransactions).Read(); got != 2 {
+		t.Errorf("bus transactions = %d, want 2 (demand + prefetch)", got)
+	}
+}
+
+func TestPrefetchDisabledByDefault(t *testing.T) {
+	s, e, ctrs := testSystem(t)
+	base := s.Alloc(256)
+	run(e, func(p *sim.Proc) { s.Port(0).Load(p, base) })
+	if got := ctrs.Counter(counters.L2Prefetches).Read(); got != 0 {
+		t.Errorf("prefetches = %d on the paper's machine, want 0", got)
+	}
+	if got := ctrs.Counter(counters.BusTransactions).Read(); got != 1 {
+		t.Errorf("bus transactions = %d, want 1", got)
+	}
+}
+
+func TestPrefetchSkipsResidentLines(t *testing.T) {
+	s, e, ctrs := prefetchSystem(t)
+	base := s.Alloc(256)
+	run(e, func(p *sim.Proc) {
+		s.Port(0).Load(p, base)    // prefetches base+64
+		s.Port(0).Load(p, base+64) // L2 hit: no walk, no new prefetch
+		p.Advance(10000)
+	})
+	if got := ctrs.Counter(counters.L2Prefetches).Read(); got != 1 {
+		t.Errorf("prefetches = %d, want 1 (resident line not re-prefetched)", got)
+	}
+}
+
+func TestPrefetchMaintainsDirectoryState(t *testing.T) {
+	s, e, _ := prefetchSystem(t)
+	base := s.Alloc(256)
+	run(e, func(p *sim.Proc) {
+		s.Port(0).Load(p, base) // prefetch pulls base+64 for core 0
+	})
+	line := (base + 64) / uint64(s.Cfg.LineBytes)
+	found := false
+	for _, h := range s.Dir.Sharers(line) {
+		if h == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("directory does not record the prefetched copy")
+	}
+}

@@ -1,0 +1,50 @@
+package mem
+
+// Ring models the bidirectional on-chip ring of Table 1. Each core
+// occupies one ring stop; the eight L3 banks (with their directory
+// slices) sit at evenly spaced stops. Messages take the shorter
+// direction; latency is hops times the per-hop latency. Link
+// contention is not modeled — the paper's ring is 64 bytes wide with
+// separate control and data rings, so queueing there is negligible
+// next to the off-chip bus, which is the bottleneck under study.
+type Ring struct {
+	stops  int
+	hopLat uint64
+	banks  int
+}
+
+// NewRing builds a ring with one stop per core and L3 banks placed at
+// stops bank*(cores/banks).
+func NewRing(cores, l3Banks int, hopLat uint64) *Ring {
+	return &Ring{stops: cores, hopLat: hopLat, banks: l3Banks}
+}
+
+// BankStop reports the ring stop of an L3 bank.
+func (r *Ring) BankStop(bank int) int {
+	return bank * (r.stops / r.banks)
+}
+
+// Hops reports the minimum hop count between two stops on the
+// bidirectional ring.
+func (r *Ring) Hops(a, b int) uint64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if other := r.stops - d; other < d {
+		d = other
+	}
+	return uint64(d)
+}
+
+// CoreToBank reports the one-way latency from a core's stop to an L3
+// bank's stop.
+func (r *Ring) CoreToBank(core, bank int) uint64 {
+	return r.Hops(core, r.BankStop(bank)) * r.hopLat
+}
+
+// CoreToCore reports the one-way latency between two cores' stops
+// (used for invalidation and ownership-transfer messages).
+func (r *Ring) CoreToCore(a, b int) uint64 {
+	return r.Hops(a, b) * r.hopLat
+}

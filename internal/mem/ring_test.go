@@ -1,0 +1,69 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingHopsShorterDirection(t *testing.T) {
+	r := NewRing(32, 8, 1)
+	cases := []struct {
+		a, b int
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 16, 16}, // exactly opposite
+		{0, 31, 1},  // wraps
+		{5, 29, 8},
+		{29, 5, 8}, // symmetric
+	}
+	for _, c := range cases {
+		if got := r.Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRingBankPlacement(t *testing.T) {
+	r := NewRing(32, 8, 1)
+	// Banks at stops 0,4,8,...,28.
+	for b := 0; b < 8; b++ {
+		if got, want := r.BankStop(b), b*4; got != want {
+			t.Errorf("BankStop(%d) = %d, want %d", b, got, want)
+		}
+	}
+}
+
+func TestRingLatencyScalesWithHopLat(t *testing.T) {
+	r := NewRing(32, 8, 3)
+	if got := r.CoreToBank(2, 0); got != 6 {
+		t.Errorf("CoreToBank(2,0) = %d, want 6 (2 hops x 3)", got)
+	}
+	if got := r.CoreToCore(0, 10); got != 30 {
+		t.Errorf("CoreToCore = %d, want 30", got)
+	}
+}
+
+func TestPropertyRingSymmetricAndBounded(t *testing.T) {
+	f := func(a, b uint8) bool {
+		r := NewRing(32, 8, 1)
+		x, y := int(a%32), int(b%32)
+		h := r.Hops(x, y)
+		return h == r.Hops(y, x) && h <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRingTriangleInequality(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		r := NewRing(32, 8, 1)
+		x, y, z := int(a%32), int(b%32), int(c%32)
+		return r.Hops(x, z) <= r.Hops(x, y)+r.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

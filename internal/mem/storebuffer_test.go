@@ -1,0 +1,120 @@
+package mem
+
+import (
+	"testing"
+
+	"fdt/internal/counters"
+	"fdt/internal/sim"
+)
+
+func TestStoreStreamDoesNotBlockUntilBufferFull(t *testing.T) {
+	s, e, _ := testSystem(t)
+	base := s.Alloc(64 << 10)
+	var afterFirstBurst uint64
+	run(e, func(p *sim.Proc) {
+		// The store buffer holds 8 entries: the first 8 streaming
+		// stores to distinct lines retire at L1 latency each.
+		for l := uint64(0); l < 8; l++ {
+			s.Port(0).StoreStream(p, base+l*64)
+		}
+		afterFirstBurst = p.Now()
+	})
+	want := 8 * s.Cfg.L1Lat
+	if afterFirstBurst != want {
+		t.Errorf("8 posted stores took %d cycles, want %d (no stalls)", afterFirstBurst, want)
+	}
+}
+
+func TestStoreStreamBackpressure(t *testing.T) {
+	s, e, _ := testSystem(t)
+	base := s.Alloc(64 << 10)
+	var elapsed uint64
+	run(e, func(p *sim.Proc) {
+		for l := uint64(0); l < 20; l++ {
+			s.Port(0).StoreStream(p, base+l*64)
+		}
+		elapsed = p.Now()
+	})
+	// Stores beyond the buffer capacity must wait for older ones.
+	if elapsed < s.Cfg.DRAMRowMissLat {
+		t.Errorf("20 posted stores took %d cycles — no backpressure", elapsed)
+	}
+}
+
+func TestStoreStreamConsumesBandwidth(t *testing.T) {
+	s, e, ctrs := testSystem(t)
+	base := s.Alloc(64 << 10)
+	run(e, func(p *sim.Proc) {
+		for l := uint64(0); l < 16; l++ {
+			s.Port(0).StoreStream(p, base+l*64)
+		}
+		// Wait for the buffer to drain before sampling.
+		p.Advance(10000)
+	})
+	if got := ctrs.Counter(counters.BusBusyCycles).Read(); got != 16*s.Cfg.BusCyclesPerLine {
+		t.Errorf("bus busy = %d, want %d (every posted store fetches its line)",
+			got, 16*s.Cfg.BusCyclesPerLine)
+	}
+}
+
+func TestStoreStreamOwnedLineIsFastPath(t *testing.T) {
+	s, e, _ := testSystem(t)
+	addr := s.Alloc(64)
+	var second uint64
+	run(e, func(p *sim.Proc) {
+		s.Port(0).StoreStream(p, addr)
+		t0 := p.Now()
+		s.Port(0).StoreStream(p, addr) // owned: write-buffer hit
+		second = p.Now() - t0
+	})
+	if second != s.Cfg.L1Lat {
+		t.Errorf("owned streaming store took %d, want %d", second, s.Cfg.L1Lat)
+	}
+}
+
+func TestStoreStreamMaintainsCoherence(t *testing.T) {
+	s, e, ctrs := testSystem(t)
+	addr := s.Alloc(64)
+	run(e, func(p *sim.Proc) {
+		s.Port(1).Load(p, addr) // core 1 caches the line shared
+		s.Port(0).StoreStream(p, addr)
+	})
+	if got := ctrs.Counter(counters.CoherenceInvalidations).Read(); got != 1 {
+		t.Errorf("invalidations = %d, want 1 (posted RFO must invalidate sharers)", got)
+	}
+	line := addr / uint64(s.Cfg.LineBytes)
+	if s.Port(1).L2().Contains(line) {
+		t.Error("remote copy survived a posted RFO")
+	}
+	if mod, owner := s.Dir.IsModified(line); !mod || owner != 0 {
+		t.Errorf("line ownership = (%v,%d), want (true,0)", mod, owner)
+	}
+}
+
+func TestStoreBufferDrains(t *testing.T) {
+	s, e, _ := testSystem(t)
+	base := s.Alloc(4 << 10)
+	run(e, func(p *sim.Proc) {
+		for l := uint64(0); l < 4; l++ {
+			s.Port(0).StoreStream(p, base+l*64)
+		}
+		p.Advance(100000)
+		s.Port(0).StoreStream(p, base+63*64)
+		if got := s.Port(0).StoreBufferOccupancy(); got != 1 {
+			t.Errorf("store buffer holds %d entries after long drain, want 1", got)
+		}
+	})
+}
+
+func TestLoadStallCountersAccumulate(t *testing.T) {
+	s, e, ctrs := testSystem(t)
+	addr := s.Alloc(64)
+	run(e, func(p *sim.Proc) { s.Port(0).Load(p, addr) })
+	stall := ctrs.Counter(counters.LoadStallCycles).Read()
+	if stall == 0 {
+		t.Error("cold miss recorded no load stall")
+	}
+	if stall >= e.Now() {
+		t.Errorf("load stall %d not below total %d", stall, e.Now())
+	}
+}

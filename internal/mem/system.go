@@ -1,0 +1,452 @@
+package mem
+
+import (
+	"fmt"
+
+	"fdt/internal/counters"
+	"fdt/internal/sim"
+)
+
+// System is the complete memory system of the simulated CMP: one
+// private L1+L2 pair per core (exposed as a Port), a shared banked L3
+// with its directory, the ring, the off-chip bus and DRAM. All shared
+// structures are safe to touch from simulation processes because the
+// sim kernel runs exactly one process at a time.
+type System struct {
+	Cfg  Config
+	Ctrs *counters.Set
+	Ring *Ring
+	Bus  *Bus
+	DRAM *DRAM
+	Dir  *Directory
+
+	l3         []*l3Bank
+	l3BankBits uint
+	ports      []*Port
+
+	l3Hits     *counters.Counter
+	l3Misses   *counters.Counter
+	loadStall  *counters.Counter
+	storeStall *counters.Counter
+	prefetches *counters.Counter
+
+	// heap is the bump allocator cursor for workload address space.
+	heap uint64
+}
+
+type l3Bank struct {
+	cache *Cache
+	port  *sim.Resource
+}
+
+// Port is one core's window into the memory system: its private L1
+// and L2 plus the shared structures behind them.
+type Port struct {
+	sys  *System
+	core int
+	l1   *Cache
+	l2   *Cache
+	// sb holds completion times of outstanding posted stores (the
+	// store buffer). StoreStream stalls only when it is full.
+	sb []uint64
+}
+
+// NewSystem builds the memory system for the given configuration.
+func NewSystem(cfg Config, ctrs *counters.Set) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cores > 64 {
+		return nil, fmt.Errorf("mem: directory sharer bitmask supports at most 64 cores, got %d", cfg.Cores)
+	}
+	s := &System{
+		Cfg:        cfg,
+		Ctrs:       ctrs,
+		Ring:       NewRing(cfg.Cores, cfg.L3Banks, cfg.RingHopLat),
+		Bus:        NewBus(cfg, ctrs),
+		DRAM:       NewDRAM(cfg, ctrs),
+		Dir:        NewDirectory(ctrs),
+		l3Hits:     ctrs.Counter(counters.L3Hits),
+		l3Misses:   ctrs.Counter(counters.L3Misses),
+		loadStall:  ctrs.Counter(counters.LoadStallCycles),
+		storeStall: ctrs.Counter(counters.StoreStallCycles),
+		prefetches: ctrs.Counter(counters.L2Prefetches),
+		heap:       1 << 20, // leave page zero and low memory unused
+	}
+	for 1<<s.l3BankBits < cfg.L3Banks {
+		s.l3BankBits++
+	}
+	bankBytes := cfg.L3Bytes / cfg.L3Banks
+	for b := 0; b < cfg.L3Banks; b++ {
+		s.l3 = append(s.l3, &l3Bank{
+			cache: NewCache(bankBytes, cfg.L3Ways, cfg.LineBytes),
+			port:  sim.NewResource(fmt.Sprintf("l3-bank-%d", b)),
+		})
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		s.ports = append(s.ports, &Port{
+			sys:  s,
+			core: c,
+			l1:   NewCache(cfg.L1Bytes, cfg.L1Ways, cfg.LineBytes),
+			l2:   NewCache(cfg.L2Bytes, cfg.L2Ways, cfg.LineBytes),
+		})
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem for known-good configurations.
+func MustNewSystem(cfg Config, ctrs *counters.Set) *System {
+	s, err := NewSystem(cfg, ctrs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Port returns core's memory port.
+func (s *System) Port(core int) *Port {
+	return s.ports[core]
+}
+
+// Alloc reserves size bytes of simulated address space, line-aligned,
+// and returns the base address. Workloads use it to lay out their
+// arrays; the data itself lives in the workload's Go values.
+func (s *System) Alloc(size int) uint64 {
+	line := uint64(s.Cfg.LineBytes)
+	base := (s.heap + line - 1) / line * line
+	s.heap = base + uint64(size)
+	return base
+}
+
+// bankOf maps a line to its L3 bank with the same XOR-fold hashing
+// DRAM uses, so power-of-two strides spread across banks instead of
+// pounding one port. Bank shards index their sets with the global
+// line address directly.
+func (s *System) bankOf(line uint64) int {
+	return int(BankHash(line, s.l3BankBits))
+}
+
+// Load performs a data load of the line containing addr on behalf of
+// process p running on this port's core, advancing p through every
+// stall the access incurs.
+func (pt *Port) Load(p *sim.Proc, addr uint64) {
+	cfg := &pt.sys.Cfg
+	line := addr / uint64(cfg.LineBytes)
+	p.Advance(cfg.L1Lat)
+	if pt.l1.Lookup(line, false) {
+		return
+	}
+	t0 := p.Now()
+	p.Advance(cfg.L2Lat)
+	if pt.l2.Lookup(line, false) {
+		pt.fillL1(line)
+		pt.sys.loadStall.Add(p.Now() - t0)
+		return
+	}
+	pt.sys.sharedAccess(p, pt, addr, line, false)
+	pt.fillL2(p.Now(), line, false)
+	pt.fillL1(line)
+	pt.sys.loadStall.Add(p.Now() - t0)
+	if cfg.PrefetchNextLine {
+		pt.sys.postPrefetch(p.Now(), pt, addr+uint64(cfg.LineBytes))
+	}
+}
+
+// postPrefetch fetches the line containing addr into this core's L2
+// in the background: it performs the coherence bookkeeping, consumes
+// bus and DRAM bandwidth like any fetch, but never stalls the core.
+// (The line is installed immediately — slightly optimistic on the
+// prefetch's own timeliness, honest on the bandwidth it consumes.)
+func (s *System) postPrefetch(now uint64, pt *Port, addr uint64) {
+	cfg := &s.Cfg
+	line := addr / uint64(cfg.LineBytes)
+	if pt.l2.Contains(line) {
+		return
+	}
+	s.prefetches.Inc()
+	bank := s.bankOf(line)
+	dirty := false
+	if cfg.ModelCoherence {
+		needWB, owner := s.Dir.ReadMiss(line, pt.core)
+		if needWB {
+			s.ports[owner].l2.Clean(line)
+			dirty = true
+		}
+	}
+	if s.l3[bank].cache.Lookup(line, dirty) {
+		s.l3Hits.Inc()
+	} else {
+		s.l3Misses.Inc()
+		s.DRAM.PostAccess(now+cfg.BusLat, addr)
+		s.Bus.PostTransfer(now)
+		s.insertL3(now, bank, line, dirty)
+	}
+	pt.fillL2(now, line, false)
+}
+
+// Store performs a data store to the line containing addr. The L1 is
+// write-through (Table 1), so L1 copies stay clean and the L2 holds
+// the dirty data. A store to a line this core already owns exclusively
+// retires through the write buffer at L1 latency; stores to shared or
+// absent lines pay the read-for-ownership walk including invalidation
+// round-trips.
+func (pt *Port) Store(p *sim.Proc, addr uint64) {
+	cfg := &pt.sys.Cfg
+	line := addr / uint64(cfg.LineBytes)
+	p.Advance(cfg.L1Lat)
+	if pt.l2.Contains(line) && pt.ownsExclusive(line) {
+		pt.l2.Lookup(line, true) // refresh LRU, set dirty
+		if pt.l1.Contains(line) {
+			pt.l1.Lookup(line, false) // write-through keeps L1 clean
+		}
+		return
+	}
+	t0 := p.Now()
+	p.Advance(cfg.L2Lat)
+	pt.sys.sharedAccess(p, pt, addr, line, true)
+	pt.fillL2(p.Now(), line, true)
+	pt.fillL1(line)
+	pt.sys.storeStall.Add(p.Now() - t0)
+}
+
+// StoreStream performs a streaming (write-buffered) store: the store
+// retires at L1 latency into the store buffer and the line fetch it
+// may require proceeds in the background, consuming bus and DRAM
+// bandwidth without stalling the core — unless the store buffer is
+// full, in which case the core waits for the oldest entry. This is
+// how write streams (convert's output image, transpose's output
+// matrix) exert bus pressure in real machines.
+func (pt *Port) StoreStream(p *sim.Proc, addr uint64) {
+	cfg := &pt.sys.Cfg
+	line := addr / uint64(cfg.LineBytes)
+	p.Advance(cfg.L1Lat)
+	if pt.l2.Contains(line) && pt.ownsExclusive(line) {
+		pt.l2.Lookup(line, true)
+		if pt.l1.Contains(line) {
+			pt.l1.Lookup(line, false)
+		}
+		return
+	}
+	pt.drainStoreBuffer(p.Now())
+	if len(pt.sb) >= cfg.StoreBufferEntries {
+		t0 := p.Now()
+		p.WaitUntil(pt.sb[0])
+		pt.sys.storeStall.Add(p.Now() - t0)
+		pt.drainStoreBuffer(p.Now())
+	}
+	done := pt.sys.postOwnership(p.Now(), pt, addr, line)
+	pt.sb = append(pt.sb, done)
+	pt.fillL2(p.Now(), line, true)
+	pt.fillL1(line)
+}
+
+// drainStoreBuffer retires completed posted stores.
+func (pt *Port) drainStoreBuffer(now uint64) {
+	i := 0
+	for i < len(pt.sb) && pt.sb[i] <= now {
+		i++
+	}
+	if i > 0 {
+		pt.sb = append(pt.sb[:0], pt.sb[i:]...)
+	}
+}
+
+// StoreBufferOccupancy reports outstanding posted stores (test aid).
+func (pt *Port) StoreBufferOccupancy() int { return len(pt.sb) }
+
+// postOwnership performs the shared-side work of a posted RFO without
+// blocking: directory bookkeeping and invalidations take effect
+// immediately (the sim kernel's run-to-completion step makes this
+// atomic), the latencies accumulate into the returned completion
+// time, and any off-chip fetch is posted onto the DRAM bank and data
+// bus.
+func (s *System) postOwnership(now uint64, pt *Port, addr, line uint64) (done uint64) {
+	cfg := &s.Cfg
+	bank := s.bankOf(line)
+	b := s.l3[bank]
+	done = now + s.Ring.CoreToBank(pt.core, bank) + cfg.L3PortOccupancy
+
+	lineDirtyInL3 := false
+	if cfg.ModelCoherence {
+		invalidate, needWB, owner := s.Dir.WriteMiss(line, pt.core)
+		var worst uint64
+		for _, c := range invalidate {
+			if d := 2 * s.Ring.CoreToBank(c, bank); d > worst {
+				worst = d
+			}
+			op := s.ports[c]
+			op.l1.Invalidate(line)
+			if _, wasDirty := op.l2.Invalidate(line); wasDirty {
+				lineDirtyInL3 = true
+			}
+		}
+		if needWB {
+			if d := 2*s.Ring.CoreToBank(owner, bank) + cfg.L2Lat; d > worst {
+				worst = d
+			}
+			lineDirtyInL3 = true
+		}
+		done += worst
+	}
+
+	done += cfg.L3Lat
+	if b.cache.Lookup(line, lineDirtyInL3) {
+		s.l3Hits.Inc()
+		return done
+	}
+	s.l3Misses.Inc()
+	// The data-bus slot is reserved work-conservingly at the current
+	// cycle: a split-transaction bus backfills its schedule from the
+	// pending-transaction queue, so it never idles while transactions
+	// are outstanding. (Reserving at the future command-ready time
+	// instead would pin unfillable holes into the reservation
+	// timeline — an artifact, since real arbiters reorder around
+	// unready transactions.) The store completes when both its bus
+	// slot and its DRAM access have finished.
+	dramDone := s.DRAM.PostAccess(now+cfg.BusLat, addr)
+	busDone := s.Bus.PostTransfer(now)
+	if dramDone > busDone {
+		busDone = dramDone
+	}
+	s.insertL3(now, bank, line, lineDirtyInL3)
+	return busDone
+}
+
+// ownsExclusive reports whether this core may silently write the line.
+func (pt *Port) ownsExclusive(line uint64) bool {
+	if !pt.sys.Cfg.ModelCoherence {
+		return true
+	}
+	mod, owner := pt.sys.Dir.IsModified(line)
+	return mod && owner == pt.core
+}
+
+// sharedAccess walks the shared side of the hierarchy: ring to the L3
+// bank, directory actions, L3 lookup, and on a miss the off-chip
+// fetch. On return the line is present in the bank and p has been
+// charged the full round trip.
+func (s *System) sharedAccess(p *sim.Proc, pt *Port, addr, line uint64, write bool) {
+	cfg := &s.Cfg
+	bank := s.bankOf(line)
+	b := s.l3[bank]
+
+	p.Advance(s.Ring.CoreToBank(pt.core, bank))
+	b.port.Acquire(p, cfg.L3PortOccupancy)
+
+	lineDirtyInL3 := false
+	if cfg.ModelCoherence {
+		if write {
+			invalidate, needWB, owner := s.Dir.WriteMiss(line, pt.core)
+			var worst uint64
+			for _, c := range invalidate {
+				if d := 2 * s.Ring.CoreToBank(c, bank); d > worst {
+					worst = d
+				}
+				op := s.ports[c]
+				op.l1.Invalidate(line)
+				if _, wasDirty := op.l2.Invalidate(line); wasDirty {
+					lineDirtyInL3 = true
+				}
+			}
+			if needWB {
+				if d := 2*s.Ring.CoreToBank(owner, bank) + cfg.L2Lat; d > worst {
+					worst = d
+				}
+				lineDirtyInL3 = true
+			}
+			p.Advance(worst)
+		} else {
+			needWB, owner := s.Dir.ReadMiss(line, pt.core)
+			if needWB {
+				p.Advance(2*s.Ring.CoreToBank(owner, bank) + cfg.L2Lat)
+				op := s.ports[owner]
+				op.l2.Clean(line)
+				lineDirtyInL3 = true
+			}
+		}
+	}
+
+	p.Advance(cfg.L3Lat)
+	if b.cache.Lookup(line, lineDirtyInL3) {
+		s.l3Hits.Inc()
+	} else {
+		s.l3Misses.Inc()
+		s.fetchFromMemory(p, addr)
+		s.insertL3(p.Now(), bank, line, lineDirtyInL3)
+	}
+
+	p.Advance(s.Ring.CoreToBank(pt.core, bank))
+}
+
+// fetchFromMemory performs the off-chip portion of a miss: command
+// phase, DRAM bank access, and the data phase that occupies the shared
+// bus — the paper's bandwidth bottleneck.
+func (s *System) fetchFromMemory(p *sim.Proc, addr uint64) {
+	p.Advance(s.Cfg.BusLat)
+	s.DRAM.Access(p, addr)
+	s.Bus.TransferLine(p)
+}
+
+// insertL3 places the fetched line into its bank, handling inclusion:
+// an evicted victim is dropped from every private cache that holds it,
+// and dirty victims are written back off-chip as posted transfers.
+func (s *System) insertL3(now uint64, bank int, line uint64, dirty bool) {
+	victim, victimDirty, evicted := s.l3[bank].cache.Insert(line, dirty)
+	if !evicted {
+		return
+	}
+	if s.Cfg.ModelCoherence {
+		for _, h := range s.Dir.Drop(victim) {
+			op := s.ports[h]
+			op.l1.Invalidate(victim)
+			if _, wasDirty := op.l2.Invalidate(victim); wasDirty {
+				victimDirty = true
+			}
+		}
+	}
+	if victimDirty {
+		s.Bus.PostWriteback(now)
+		s.DRAM.PostWrite(now, victim*uint64(s.Cfg.LineBytes))
+	}
+}
+
+// fillL2 installs the line in this core's L2, handling the victim:
+// directory bookkeeping plus a writeback of dirty data into the L3.
+func (pt *Port) fillL2(now uint64, line uint64, dirty bool) {
+	victim, victimDirty, evicted := pt.l2.Insert(line, dirty)
+	if !evicted {
+		return
+	}
+	pt.l1.Invalidate(victim) // keep L1 subset of L2
+	if pt.sys.Cfg.ModelCoherence {
+		pt.sys.Dir.Evict(victim, pt.core)
+	}
+	if victimDirty {
+		// Posted writeback into the inclusive L3: mark the line dirty
+		// there; if inclusion was somehow broken, write it off-chip.
+		s := pt.sys
+		vb := s.bankOf(victim)
+		if !s.l3[vb].cache.MarkDirty(victim) {
+			s.Bus.PostWriteback(now)
+			s.DRAM.PostWrite(now, victim*uint64(s.Cfg.LineBytes))
+		}
+	}
+}
+
+// fillL1 installs the line in the write-through L1; victims are always
+// clean and vanish silently.
+func (pt *Port) fillL1(line uint64) {
+	pt.l1.Insert(line, false)
+}
+
+// LineBytes reports the machine's cache-line size.
+func (pt *Port) LineBytes() int { return pt.sys.Cfg.LineBytes }
+
+// L1 exposes the private L1 (test aid).
+func (pt *Port) L1() *Cache { return pt.l1 }
+
+// L2 exposes the private L2 (test aid).
+func (pt *Port) L2() *Cache { return pt.l2 }
+
+// L3BankCache exposes a bank's cache shard (test aid).
+func (s *System) L3BankCache(bank int) *Cache { return s.l3[bank].cache }

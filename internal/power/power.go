@@ -1,0 +1,72 @@
+// Package power implements the paper's on-chip power metric
+// (Section 3.1): "we count the number of cores that are active in a
+// given cycle and the power is computed as the average of this value
+// over the entire execution time."
+//
+// A core is active from the moment a thread is placed on it until the
+// thread leaves it — spinning at a lock or barrier counts as active,
+// which is what makes extraneous threads expensive. Cores with no
+// thread are power-gated and contribute nothing.
+package power
+
+import "fmt"
+
+// Meter integrates active-core time per core.
+type Meter struct {
+	perCore []uint64
+	cores   int
+}
+
+// NewMeter returns a meter for a machine with the given core count.
+func NewMeter(cores int) *Meter {
+	return &Meter{perCore: make([]uint64, cores), cores: cores}
+}
+
+// Cores reports the number of cores metered.
+func (m *Meter) Cores() int { return m.cores }
+
+// AddActive records that core was active for the half-open cycle
+// interval [from, to). Intervals on the same core must not overlap;
+// the threading runtime guarantees one thread per core (no SMT, as in
+// the paper).
+func (m *Meter) AddActive(core int, from, to uint64) {
+	if core < 0 || core >= m.cores {
+		panic(fmt.Sprintf("power: core %d out of range [0,%d)", core, m.cores))
+	}
+	if to < from {
+		panic(fmt.Sprintf("power: negative interval [%d,%d) on core %d", from, to, core))
+	}
+	m.perCore[core] += to - from
+}
+
+// ActiveCoreCycles reports the total core-cycles of activity.
+func (m *Meter) ActiveCoreCycles() uint64 {
+	var sum uint64
+	for _, v := range m.perCore {
+		sum += v
+	}
+	return sum
+}
+
+// PerCore reports per-core active cycles (a copy).
+func (m *Meter) PerCore() []uint64 {
+	out := make([]uint64, len(m.perCore))
+	copy(out, m.perCore)
+	return out
+}
+
+// AverageActiveCores reports the paper's power figure: active core
+// cycles divided by the execution window. A window of zero yields 0.
+func (m *Meter) AverageActiveCores(window uint64) float64 {
+	if window == 0 {
+		return 0
+	}
+	return float64(m.ActiveCoreCycles()) / float64(window)
+}
+
+// Reset clears all accumulated activity.
+func (m *Meter) Reset() {
+	for i := range m.perCore {
+		m.perCore[i] = 0
+	}
+}

@@ -1,0 +1,106 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleCoreFullyActive(t *testing.T) {
+	m := NewMeter(4)
+	m.AddActive(0, 0, 1000)
+	if got := m.AverageActiveCores(1000); got != 1.0 {
+		t.Errorf("avg = %v, want 1.0", got)
+	}
+}
+
+func TestAllCoresActive(t *testing.T) {
+	m := NewMeter(32)
+	for c := 0; c < 32; c++ {
+		m.AddActive(c, 0, 500)
+	}
+	if got := m.AverageActiveCores(500); got != 32.0 {
+		t.Errorf("avg = %v, want 32.0", got)
+	}
+}
+
+func TestPartialActivity(t *testing.T) {
+	// Two cores active for half the window each: average = 1 core.
+	m := NewMeter(2)
+	m.AddActive(0, 0, 50)
+	m.AddActive(1, 50, 100)
+	if got := m.AverageActiveCores(100); got != 1.0 {
+		t.Errorf("avg = %v, want 1.0", got)
+	}
+}
+
+func TestPerCoreAccounting(t *testing.T) {
+	m := NewMeter(3)
+	m.AddActive(1, 10, 30)
+	m.AddActive(1, 40, 50)
+	per := m.PerCore()
+	if per[0] != 0 || per[1] != 30 || per[2] != 0 {
+		t.Errorf("PerCore = %v, want [0 30 0]", per)
+	}
+	if m.ActiveCoreCycles() != 30 {
+		t.Errorf("total = %d, want 30", m.ActiveCoreCycles())
+	}
+}
+
+func TestZeroWindow(t *testing.T) {
+	m := NewMeter(1)
+	if m.AverageActiveCores(0) != 0 {
+		t.Error("zero window must yield 0, not NaN")
+	}
+}
+
+func TestOutOfRangeCorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range core")
+		}
+	}()
+	NewMeter(2).AddActive(2, 0, 1)
+}
+
+func TestNegativeIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative interval")
+		}
+	}()
+	NewMeter(1).AddActive(0, 10, 5)
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter(2)
+	m.AddActive(0, 0, 10)
+	m.Reset()
+	if m.ActiveCoreCycles() != 0 {
+		t.Error("Reset left activity")
+	}
+}
+
+func TestPropertyAverageNeverExceedsCoreCount(t *testing.T) {
+	f := func(iv []uint16) bool {
+		const cores = 8
+		m := NewMeter(cores)
+		var window uint64 = 1
+		// Build non-overlapping per-core intervals within [0, 1000).
+		cursor := make([]uint64, cores)
+		for i, d := range iv {
+			core := i % cores
+			d := uint64(d % 100)
+			m.AddActive(core, cursor[core], cursor[core]+d)
+			cursor[core] += d
+			if cursor[core] > window {
+				window = cursor[core]
+			}
+		}
+		avg := m.AverageActiveCores(window)
+		return avg <= cores+1e-9 && !math.IsNaN(avg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package sim implements a deterministic, process-oriented
+// discrete-event simulation kernel.
+//
+// A simulation is a set of processes (Proc) that advance a shared
+// simulated clock by waiting: WaitUntil schedules the process at an
+// absolute cycle, Park suspends it until another process Wakes it.
+// The engine resumes exactly one process at a time — the one with the
+// smallest pending event time, FIFO among ties — so simulations are
+// fully deterministic regardless of host goroutine scheduling.
+//
+// The kernel knows nothing about CPUs, caches or buses; those live in
+// higher layers (internal/mem, internal/cpu) and are expressed purely
+// in terms of WaitUntil/Park/Wake.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Engine owns the simulated clock and the pending-event queue.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    uint64
+	seq    uint64
+	events eventHeap
+	live   map[*Proc]struct{}
+	fault  *procFault
+	// stepHook, when non-nil, is invoked before each event dispatch.
+	// Used by tests to observe scheduling order.
+	stepHook func(t uint64, p *Proc)
+}
+
+// procFault records a panic raised inside a process body so Run can
+// re-raise it on the caller's goroutine.
+type procFault struct {
+	proc  *Proc
+	value any
+}
+
+// NewEngine returns an engine with the clock at cycle 0 and no
+// processes.
+func NewEngine() *Engine {
+	return &Engine{live: make(map[*Proc]struct{})}
+}
+
+// Now reports the current simulated cycle. It is only meaningful while
+// the engine is running or after Run returns.
+func (e *Engine) Now() uint64 { return e.now }
+
+// Live reports the number of processes that have been spawned and have
+// not yet finished.
+func (e *Engine) Live() int { return len(e.live) }
+
+type event struct {
+	t   uint64
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+func (e *Engine) schedule(t uint64, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+}
+
+// Proc is a simulated process: a goroutine that cooperates with the
+// engine through WaitUntil, Advance, Park and Wake. All Proc methods
+// must be called from the process's own body function, except Wake,
+// which is called by whichever process is currently running.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	parked bool
+	done   bool
+	// waking guards against double-wake while an event is already
+	// queued for this process.
+	waking bool
+}
+
+// Name reports the diagnostic name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current simulated cycle.
+func (p *Proc) Now() uint64 { return p.eng.now }
+
+// Spawn creates a process that will first run at the current simulated
+// time. The body runs on its own goroutine but only while the engine
+// has handed it the baton, so body code may freely touch shared model
+// state without host-level locking.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.live[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				// Surface model-code panics from the engine's Run so
+				// they carry the process name and reach the caller's
+				// goroutine instead of crashing the host process.
+				e.fault = &procFault{proc: p, value: r}
+			}
+			p.done = true
+			delete(e.live, p)
+			p.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+// WaitUntil blocks the process until the simulated clock reaches t.
+// Waiting for a time in the past (t <= now) re-queues the process at
+// the current time, which still yields to any already-pending events
+// at this cycle.
+func (p *Proc) WaitUntil(t uint64) {
+	if t < p.eng.now {
+		t = p.eng.now
+	}
+	p.eng.schedule(t, p)
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Advance blocks the process for d cycles.
+func (p *Proc) Advance(d uint64) { p.WaitUntil(p.eng.now + d) }
+
+// Yield re-queues the process at the current cycle, letting any other
+// process scheduled for this cycle run first.
+func (p *Proc) Yield() { p.WaitUntil(p.eng.now) }
+
+// Park suspends the process indefinitely. It returns when another
+// process calls Wake on it. A parked process holds no queue entry, so
+// a simulation in which every live process is parked is deadlocked and
+// Run panics with a diagnostic.
+func (p *Proc) Park() {
+	p.parked = true
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Wake schedules a parked process q to resume at the current simulated
+// time. Waking a process that is not parked is a programming error in
+// the model layer and panics. Wake must be called by the currently
+// running process (or before Run starts).
+func (p *Proc) Wake(q *Proc) {
+	p.eng.wake(q)
+}
+
+func (e *Engine) wake(q *Proc) {
+	if !q.parked {
+		panic(fmt.Sprintf("sim: Wake(%s): process is not parked", q.name))
+	}
+	q.parked = false
+	e.schedule(e.now, q)
+}
+
+// Run dispatches events until none remain. It panics if live processes
+// remain parked with an empty event queue (model deadlock), naming the
+// stuck processes.
+func (e *Engine) Run() {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.t < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.t
+		if ev.p.done {
+			continue
+		}
+		if e.stepHook != nil {
+			e.stepHook(ev.t, ev.p)
+		}
+		ev.p.resume <- struct{}{}
+		<-ev.p.yield
+		if e.fault != nil {
+			f := e.fault
+			e.fault = nil
+			panic(fmt.Sprintf("sim: process %q panicked: %v", f.proc.name, f.value))
+		}
+	}
+	if len(e.live) > 0 {
+		names := make([]string, 0, len(e.live))
+		for p := range e.live {
+			names = append(names, p.name)
+		}
+		sort.Strings(names)
+		panic(fmt.Sprintf("sim: deadlock: %d processes parked forever: %v", len(names), names))
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSeriesLengthMismatch(t *testing.T) {
+	if _, err := NewSeries("x", []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	s, err := NewSeries("ok", []float64{1}, []float64{2})
+	if err != nil || s.Label != "ok" {
+		t.Errorf("valid series rejected: %v", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{10, 20, 5}, 10)
+	want := []float64{1, 2, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero base did not panic")
+		}
+	}()
+	Normalize([]float64{1}, 0)
+}
+
+func TestNormalizeUint(t *testing.T) {
+	got := NormalizeUint([]uint64{100, 50}, 100)
+	if got[0] != 1.0 || got[1] != 0.5 {
+		t.Errorf("NormalizeUint = %v", got)
+	}
+}
+
+func TestGmean(t *testing.T) {
+	if got := Gmean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Gmean(1,4) = %v, want 2", got)
+	}
+	if got := Gmean([]float64{3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Gmean(3) = %v, want 3", got)
+	}
+}
+
+func TestGmeanRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive value did not panic")
+		}
+	}()
+	Gmean([]float64{1, 0})
+}
+
+func TestArgMin(t *testing.T) {
+	i, v := ArgMin([]float64{3, 1, 2, 1})
+	if i != 1 || v != 1 {
+		t.Errorf("ArgMin = (%d,%v), want (1,1) — first on ties", i, v)
+	}
+	iu, vu := ArgMinUint([]uint64{9, 7, 8})
+	if iu != 1 || vu != 7 {
+		t.Errorf("ArgMinUint = (%d,%d), want (1,7)", iu, vu)
+	}
+}
+
+func TestWithinPct(t *testing.T) {
+	if !WithinPct(101, 100, 1) {
+		t.Error("101 not within 1% of 100")
+	}
+	if WithinPct(102, 100, 1) {
+		t.Error("102 within 1% of 100")
+	}
+	if !WithinPct(0, 0, 1) {
+		t.Error("0 not within 1% of 0")
+	}
+}
+
+func TestFewestWithin(t *testing.T) {
+	// Times by thread count: min at index 4 but index 2 is within 1%.
+	vals := []uint64{1000, 500, 303, 302, 300, 310, 350}
+	if got := FewestWithin(vals, 0.01); got != 2 {
+		t.Errorf("FewestWithin = %d, want 2", got)
+	}
+	if got := FewestWithin(vals, 0.0); got != 4 {
+		t.Errorf("FewestWithin(tol=0) = %d, want 4", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%v,%v), want (-1,7)", lo, hi)
+	}
+}
+
+func TestPropertyGmeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r%1000) + 1
+		}
+		g := Gmean(vals)
+		lo, hi := MinMax(vals)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFewestWithinIsWithin(t *testing.T) {
+	f := func(raw []uint16, tolRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]uint64, len(raw))
+		for i, r := range raw {
+			vals[i] = uint64(r) + 1
+		}
+		tol := float64(tolRaw%20) / 100
+		i := FewestWithin(vals, tol)
+		_, best := ArgMinUint(vals)
+		return float64(vals[i]) <= float64(best)*(1+tol)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package thread
+
+import (
+	"testing"
+
+	"fdt/internal/counters"
+)
+
+func TestNewLockHasBackingLine(t *testing.T) {
+	m := testMachine(t)
+	l := NewLock(m)
+	if l.Addr == 0 {
+		t.Fatal("NewLock allocated no line")
+	}
+	l2 := NewLock(m)
+	if l2.Addr == l.Addr {
+		t.Fatal("two locks share one line")
+	}
+}
+
+func TestZeroLockGeneratesNoTraffic(t *testing.T) {
+	m := testMachine(t)
+	var l Lock
+	Run(m, func(c *Ctx) {
+		c.Critical(&l, func() { c.Compute(10) })
+	})
+	if got := m.Ctrs.Counter(counters.BusTransactions).Read(); got != 0 {
+		t.Errorf("zero-value lock generated %d bus transactions", got)
+	}
+}
+
+func TestContendedLockCostsMoreThanPrivate(t *testing.T) {
+	// The same critical section executed by alternating cores must be
+	// slower than executed repeatedly by one core: each handoff
+	// transfers the lock line between private caches.
+	run := func(alternate bool) uint64 {
+		m := testMachine(t)
+		l := NewLock(m)
+		var total uint64
+		Run(m, func(c *Ctx) {
+			c.Critical(l, func() {}) // warm the lock line
+			n := 2
+			if !alternate {
+				n = 1
+			}
+			start := c.CPU.CycleCount()
+			c.Fork(n, func(tc *Ctx) {
+				for i := 0; i < 8; i++ {
+					tc.Critical(l, func() { tc.Compute(5) })
+				}
+			})
+			total = c.CPU.CycleCount() - start
+		})
+		return total
+	}
+	private := run(false)
+	contended := run(true)
+	// Two threads do twice the CS executions; if handoffs were free
+	// the serialized time would be exactly 2x. Demand strictly more.
+	if contended <= 2*private {
+		t.Errorf("contended 16 CS = %d cycles vs private 8 CS = %d — no ping-pong cost", contended, private)
+	}
+}
+
+func TestLockCSCyclesIncludeLockWordAccess(t *testing.T) {
+	m := testMachine(t)
+	l := NewLock(m)
+	Run(m, func(c *Ctx) {
+		c.Critical(l, func() { c.Compute(10) })
+	})
+	cs := m.Ctrs.Counter(CtrCSCycles).Read()
+	if cs <= 10 {
+		t.Errorf("cs cycles = %d, want > 10 (lock-word stores included)", cs)
+	}
+}

@@ -1,0 +1,106 @@
+package thread
+
+import (
+	"testing"
+
+	"fdt/internal/machine"
+)
+
+func smtMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	return machine.MustNew(machine.DefaultConfig().WithCores(8).WithSMT(2))
+}
+
+func TestSMTForkUsesAllContexts(t *testing.T) {
+	m := smtMachine(t)
+	cores := map[int]int{}
+	Run(m, func(c *Ctx) {
+		c.Fork(16, func(tc *Ctx) {
+			cores[tc.CPU.Core()]++
+			tc.Compute(10)
+		})
+	})
+	if len(cores) != 8 {
+		t.Fatalf("used %d cores, want all 8", len(cores))
+	}
+	for core, n := range cores {
+		if n != 2 {
+			t.Errorf("core %d hosted %d threads, want 2", core, n)
+		}
+	}
+}
+
+func TestSMTSpreadsBeforeStacking(t *testing.T) {
+	// With a team no larger than the core count, every thread gets a
+	// dedicated core even on an SMT machine.
+	m := smtMachine(t)
+	cores := map[int]int{}
+	Run(m, func(c *Ctx) {
+		c.Fork(8, func(tc *Ctx) {
+			cores[tc.CPU.Core()]++
+			tc.Compute(10)
+		})
+	})
+	for core, n := range cores {
+		if n != 1 {
+			t.Errorf("core %d hosted %d threads at team size 8", core, n)
+		}
+	}
+}
+
+func TestSMTCoResidentComputeSlower(t *testing.T) {
+	// Two compute-bound threads on one core must take about twice as
+	// long as two threads on two cores.
+	elapsed := func(teamOf int, cfg machine.Config) uint64 {
+		m := machine.MustNew(cfg)
+		Run(m, func(c *Ctx) {
+			c.Fork(teamOf, func(tc *Ctx) { tc.Compute(10000) })
+		})
+		return m.Eng.Now()
+	}
+	dedicated := elapsed(2, machine.DefaultConfig().WithCores(8).WithSMT(1))
+	// Construct true sharing: a team of 9 on 8 cores x 2 SMT puts
+	// thread 8 on core 0 beside thread 0's context.
+	m := machine.MustNew(machine.DefaultConfig().WithCores(8).WithSMT(2))
+	var t0busy uint64
+	Run(m, func(c *Ctx) {
+		c.Fork(9, func(tc *Ctx) {
+			start := tc.CPU.CycleCount()
+			tc.Compute(10000)
+			if tc.ID == 8 { // shares core 0 with thread 0
+				t0busy = tc.CPU.CycleCount() - start
+			}
+		})
+	})
+	if t0busy < 2*10000 {
+		t.Errorf("co-resident thread computed 10000 cycles in %d, want ~2x slowdown", t0busy)
+	}
+	if dedicated > 10200 {
+		t.Errorf("dedicated threads took %d, want ~10000", dedicated)
+	}
+}
+
+func TestSMTForkClampsToContexts(t *testing.T) {
+	m := smtMachine(t)
+	var size int
+	Run(m, func(c *Ctx) {
+		c.Fork(64, func(tc *Ctx) { size = tc.Size })
+	})
+	if size != 16 {
+		t.Errorf("team size = %d, want 16 contexts", size)
+	}
+}
+
+func TestSMTPowerCountsCoresNotContexts(t *testing.T) {
+	m := smtMachine(t)
+	Run(m, func(c *Ctx) {
+		c.Fork(16, func(tc *Ctx) { tc.Compute(1000) })
+	})
+	avg := m.Power.AverageActiveCores(m.Eng.Now())
+	if avg > 8.01 {
+		t.Errorf("avg active cores = %.2f on an 8-core machine", avg)
+	}
+	if avg < 6 {
+		t.Errorf("avg active cores = %.2f, want near 8 during a 16-thread region", avg)
+	}
+}

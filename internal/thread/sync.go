@@ -1,0 +1,107 @@
+package thread
+
+import (
+	"fdt/internal/machine"
+	"fdt/internal/sim"
+)
+
+// Lock is a FIFO mutual-exclusion lock guarding a critical section.
+// The zero value is an unlocked lock with no memory footprint.
+//
+// FIFO grant order matches a fair ticket/queue lock; it also makes the
+// serialized critical-section stream deterministic, which the paper's
+// Fig 6 analysis implicitly assumes (total CS time grows linearly with
+// the number of threads executing the CS).
+//
+// A Lock built with NewLock additionally owns a cache line for the
+// lock word: every acquisition and release performs a real store to
+// it, so a contended lock pays the MESI ownership ping-pong between
+// the previous and next holder — the physical cost that makes
+// critical sections more expensive under contention than the
+// single-threaded training run observes.
+type Lock struct {
+	// Addr is the lock word's line address; zero means the lock is
+	// simulated without memory traffic.
+	Addr uint64
+
+	held    bool
+	waiters []*sim.Proc
+}
+
+// NewLock allocates a lock with a backing cache line on m.
+func NewLock(m *machine.Machine) *Lock {
+	return &Lock{Addr: m.Alloc(64)}
+}
+
+// Critical executes body under the lock, charging the thread the wait
+// time (if the lock is held) and accumulating the runtime's CS
+// instrumentation counters.
+func (c *Ctx) Critical(l *Lock, body func()) {
+	p := c.CPU.Proc()
+	ctrs := c.m.Ctrs
+
+	waitStart := p.Now()
+	if l.held {
+		l.waiters = append(l.waiters, p)
+		p.Park()
+	} else {
+		l.held = true
+	}
+	entered := p.Now()
+	ctrs.Counter(CtrCSWaitCycles).Add(entered - waitStart)
+	ctrs.Counter(CtrCSEntries).Inc()
+
+	if l.Addr != 0 {
+		// Take ownership of the lock word (the atomic RMW that
+		// acquired the lock).
+		c.CPU.Store(l.Addr)
+	}
+
+	body()
+
+	if l.Addr != 0 {
+		// Release store on the lock word.
+		c.CPU.Store(l.Addr)
+	}
+
+	exited := p.Now()
+	ctrs.Counter(CtrCSCycles).Add(exited - entered)
+
+	// Hand the lock to the next waiter in FIFO order, or free it.
+	if len(l.waiters) > 0 {
+		next := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		p.Wake(next) // next resumes holding the lock
+	} else {
+		l.held = false
+	}
+}
+
+// Barrier synchronizes a team: every arriving thread blocks until
+// Size threads have arrived. A Barrier is reusable across iterations
+// (the arrival count resets when the last thread arrives). The zero
+// value is ready to use.
+type Barrier struct {
+	arrived int
+	waiters []*sim.Proc
+}
+
+// Barrier blocks the thread at b until all c.Size team members arrive,
+// charging barrier wait time to the runtime's counters.
+func (c *Ctx) Barrier(b *Barrier) {
+	p := c.CPU.Proc()
+	start := p.Now()
+	b.arrived++
+	if b.arrived < c.Size {
+		b.waiters = append(b.waiters, p)
+		p.Park()
+	} else {
+		// Last arriver releases everyone and resets for reuse.
+		for _, w := range b.waiters {
+			p.Wake(w)
+		}
+		b.waiters = b.waiters[:0]
+		b.arrived = 0
+	}
+	c.m.Ctrs.Counter(CtrBarrierWaitCycles).Add(p.Now() - start)
+}

@@ -1,0 +1,189 @@
+package thread
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fdt/internal/machine"
+)
+
+func TestCriticalSerializes(t *testing.T) {
+	m := testMachine(t)
+	var intervals [][2]uint64
+	var lock Lock
+	Run(m, func(c *Ctx) {
+		c.Fork(8, func(tc *Ctx) {
+			tc.Critical(&lock, func() {
+				start := tc.CPU.CycleCount()
+				tc.Compute(50)
+				intervals = append(intervals, [2]uint64{start, tc.CPU.CycleCount()})
+			})
+		})
+	})
+	if len(intervals) != 8 {
+		t.Fatalf("got %d critical executions, want 8", len(intervals))
+	}
+	for i := 1; i < len(intervals); i++ {
+		if intervals[i][0] < intervals[i-1][1] {
+			t.Errorf("critical sections overlap: %v then %v", intervals[i-1], intervals[i])
+		}
+	}
+}
+
+func TestCriticalFIFOOrder(t *testing.T) {
+	m := testMachine(t)
+	var order []int
+	var lock Lock
+	Run(m, func(c *Ctx) {
+		c.Fork(6, func(tc *Ctx) {
+			// Stagger arrivals by ID so the queue order is knowable.
+			tc.Compute(uint64(10 * tc.ID))
+			tc.Critical(&lock, func() {
+				tc.Compute(100) // long CS so all later arrivals queue
+				order = append(order, tc.ID)
+			})
+		})
+	})
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("grant order = %v, want FIFO by arrival [0 1 2 3 4 5]", order)
+		}
+	}
+}
+
+func TestCriticalAccountsCycles(t *testing.T) {
+	m := testMachine(t)
+	var lock Lock
+	Run(m, func(c *Ctx) {
+		c.Fork(4, func(tc *Ctx) {
+			tc.Critical(&lock, func() { tc.Compute(25) })
+		})
+	})
+	cs := m.Ctrs.Counter(CtrCSCycles).Read()
+	if cs != 4*25 {
+		t.Errorf("cs cycles = %d, want 100", cs)
+	}
+	if got := m.Ctrs.Counter(CtrCSEntries).Read(); got != 4 {
+		t.Errorf("cs entries = %d, want 4", got)
+	}
+	// All four arrive together; they serialize, so total wait is
+	// 0 + 25 + 50 + 75 = 150.
+	if wait := m.Ctrs.Counter(CtrCSWaitCycles).Read(); wait != 150 {
+		t.Errorf("cs wait = %d, want 150", wait)
+	}
+}
+
+func TestCriticalUncontendedNoWait(t *testing.T) {
+	m := testMachine(t)
+	var lock Lock
+	Run(m, func(c *Ctx) {
+		c.Critical(&lock, func() { c.Compute(10) })
+		c.Critical(&lock, func() { c.Compute(10) })
+	})
+	if wait := m.Ctrs.Counter(CtrCSWaitCycles).Read(); wait != 0 {
+		t.Errorf("uncontended wait = %d, want 0", wait)
+	}
+	if cs := m.Ctrs.Counter(CtrCSCycles).Read(); cs != 20 {
+		t.Errorf("cs cycles = %d, want 20", cs)
+	}
+}
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	m := testMachine(t)
+	var b Barrier
+	var releaseTimes []uint64
+	Run(m, func(c *Ctx) {
+		c.Fork(5, func(tc *Ctx) {
+			tc.Compute(uint64(100 * tc.ID)) // staggered arrivals
+			tc.Barrier(&b)
+			releaseTimes = append(releaseTimes, tc.CPU.CycleCount())
+		})
+	})
+	if len(releaseTimes) != 5 {
+		t.Fatalf("got %d releases, want 5", len(releaseTimes))
+	}
+	for _, rt := range releaseTimes {
+		if rt != releaseTimes[0] {
+			t.Errorf("release times differ: %v", releaseTimes)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossPhases(t *testing.T) {
+	m := testMachine(t)
+	var b Barrier
+	phase := make(map[int][]uint64)
+	Run(m, func(c *Ctx) {
+		c.Fork(3, func(tc *Ctx) {
+			for it := 0; it < 3; it++ {
+				tc.Compute(uint64(10 * (tc.ID + 1)))
+				tc.Barrier(&b)
+				phase[tc.ID] = append(phase[tc.ID], tc.CPU.CycleCount())
+			}
+		})
+	})
+	// Each phase releases all threads at the same cycle, and phases
+	// are strictly increasing.
+	for it := 0; it < 3; it++ {
+		t0 := phase[0][it]
+		for id := 1; id < 3; id++ {
+			if phase[id][it] != t0 {
+				t.Errorf("phase %d: thread %d released at %d, thread 0 at %d", it, id, phase[id][it], t0)
+			}
+		}
+		if it > 0 && phase[0][it] <= phase[0][it-1] {
+			t.Errorf("phase %d not after phase %d", it, it-1)
+		}
+	}
+}
+
+func TestBarrierWaitAccounting(t *testing.T) {
+	m := testMachine(t)
+	var b Barrier
+	Run(m, func(c *Ctx) {
+		c.Fork(2, func(tc *Ctx) {
+			if tc.ID == 0 {
+				tc.Compute(100)
+			}
+			tc.Barrier(&b)
+		})
+	})
+	// Thread 1 arrives ~100 cycles early and waits.
+	wait := m.Ctrs.Counter(CtrBarrierWaitCycles).Read()
+	if wait != 100 {
+		t.Errorf("barrier wait = %d, want 100", wait)
+	}
+}
+
+func TestSingleThreadBarrierIsFree(t *testing.T) {
+	m := testMachine(t)
+	var b Barrier
+	Run(m, func(c *Ctx) {
+		c.Barrier(&b)
+		c.Compute(5)
+		c.Barrier(&b)
+	})
+	if m.Eng.Now() != 5 {
+		t.Errorf("elapsed = %d, want 5", m.Eng.Now())
+	}
+}
+
+func TestPropertyTotalCSTimeLinearInThreads(t *testing.T) {
+	// The paper's Fig 6 premise: with each of P threads executing the
+	// critical section once, total CS occupancy is P times the
+	// single-thread CS time, for any P.
+	f := func(pRaw uint8) bool {
+		p := int(pRaw%8) + 1
+		m := machine.MustNew(machine.DefaultConfig())
+		var lock Lock
+		Run(m, func(c *Ctx) {
+			c.Fork(p, func(tc *Ctx) {
+				tc.Critical(&lock, func() { tc.Compute(40) })
+			})
+		})
+		return m.Ctrs.Counter(CtrCSCycles).Read() == uint64(p)*40
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package thread implements the threading runtime of the simulated
+// machine: fork-join parallel regions with a runtime-variable team
+// size (OpenMP's num_threads clause), FIFO critical-section locks and
+// barriers — the "minimal support from the threading library" the
+// paper's techniques require.
+//
+// The runtime also provides the instrumentation FDT leans on: every
+// critical section's occupancy is accumulated into a machine counter
+// (the moral equivalent of the paper's compiler-inserted cycle-counter
+// reads at critical-section entry and exit), so the training phase
+// can compute T_CS and T_NoCS without touching workload code.
+package thread
+
+import (
+	"fmt"
+
+	"fdt/internal/cpu"
+	"fdt/internal/machine"
+	"fdt/internal/sim"
+)
+
+// Counter names exported by the runtime into the machine counter set.
+const (
+	// CtrCSCycles accumulates cycles spent inside critical sections
+	// (lock held), across all threads.
+	CtrCSCycles = "sync.cs_cycles"
+	// CtrCSWaitCycles accumulates cycles spent waiting to enter
+	// critical sections.
+	CtrCSWaitCycles = "sync.cs_wait_cycles"
+	// CtrCSEntries counts critical-section executions.
+	CtrCSEntries = "sync.cs_entries"
+	// CtrBarrierWaitCycles accumulates cycles spent waiting at
+	// barriers.
+	CtrBarrierWaitCycles = "sync.barrier_wait_cycles"
+)
+
+// Ctx is a thread's execution context inside a parallel region (or
+// the master's context outside one, where ID=0 and Size=1).
+type Ctx struct {
+	// ID is the thread's index within its team.
+	ID int
+	// Size is the team size.
+	Size int
+	// CPU executes this thread's work.
+	CPU *cpu.CPU
+
+	m *machine.Machine
+}
+
+// Machine exposes the machine the thread runs on.
+func (c *Ctx) Machine() *machine.Machine { return c.m }
+
+// Compute advances this thread through cycles of ALU work.
+func (c *Ctx) Compute(cycles uint64) { c.CPU.Compute(cycles) }
+
+// Exec retires instrs instructions.
+func (c *Ctx) Exec(instrs uint64) { c.CPU.Exec(instrs) }
+
+// Load reads the line containing addr.
+func (c *Ctx) Load(addr uint64) { c.CPU.Load(addr) }
+
+// Store writes the line containing addr.
+func (c *Ctx) Store(addr uint64) { c.CPU.Store(addr) }
+
+// LoadRange streams loads over [base, base+bytes).
+func (c *Ctx) LoadRange(base uint64, bytes int) { c.CPU.LoadRange(base, bytes) }
+
+// StoreRange streams stores over [base, base+bytes).
+func (c *Ctx) StoreRange(base uint64, bytes int) { c.CPU.StoreRange(base, bytes) }
+
+// Range block-distributes the half-open interval [lo, hi) across the
+// team and returns this thread's sub-interval — OpenMP's static
+// schedule.
+func (c *Ctx) Range(lo, hi int) (myLo, myHi int) {
+	n := hi - lo
+	if n <= 0 {
+		return lo, lo
+	}
+	per := n / c.Size
+	rem := n % c.Size
+	myLo = lo + c.ID*per + min(c.ID, rem)
+	myHi = myLo + per
+	if c.ID < rem {
+		myHi++
+	}
+	return myLo, myHi
+}
+
+// newCtx builds a thread context on a hardware context: the CPU sits
+// on the context's core, shares that core's memory port, and — under
+// SMT — derates its compute by the core's current context load.
+func newCtx(m *machine.Machine, id, size, hwCtx int, p *sim.Proc) *Ctx {
+	core := m.CoreOf(hwCtx)
+	c := cpu.New(core, m.Cfg.IssueWidth, p, m.Mem.Port(core))
+	if m.Cfg.SMTContexts > 1 {
+		c.SetContention(func() int { return m.CoreLoad(core) })
+	}
+	return &Ctx{ID: id, Size: size, CPU: c, m: m}
+}
+
+// Run starts the program's master thread on hardware context 0 (core
+// 0), runs the simulation to completion, and accounts the master's
+// power. The master is active for the whole execution, like the
+// initial thread of an OpenMP program.
+func Run(m *machine.Machine, main func(c *Ctx)) {
+	m.OccupyContext(0, 0)
+	m.Eng.Spawn("master", func(p *sim.Proc) {
+		main(newCtx(m, 0, 1, 0, p))
+	})
+	m.Eng.Run()
+	m.ReleaseContext(0, m.Eng.Now())
+}
+
+// Fork runs body on a team of n threads — thread i on hardware
+// context i, which spreads one thread per core before any core hosts
+// two (SMT) — and returns when every team member has finished (the
+// implicit join of a parallel region). The caller becomes thread 0.
+// n is clamped to [1, contexts]. Nested parallel regions are not
+// supported, as in the paper's OpenMP setup: only the master (ID 0 of
+// a size-1 context) may fork.
+func (c *Ctx) Fork(n int, body func(tc *Ctx)) {
+	if c.ID != 0 || c.Size != 1 {
+		panic("thread: nested Fork is not supported")
+	}
+	m := c.m
+	if n < 1 {
+		n = 1
+	}
+	if n > m.Contexts() {
+		n = m.Contexts()
+	}
+	p := c.CPU.Proc()
+	if n > 1 {
+		c.Compute(m.Cfg.ForkCost)
+	}
+
+	join := &joinState{remaining: n - 1, master: p}
+	for i := 1; i < n; i++ {
+		i := i
+		m.OccupyContext(i, p.Now())
+		m.Eng.Spawn(fmt.Sprintf("worker-%d", i), func(wp *sim.Proc) {
+			tc := newCtx(m, i, n, i, wp)
+			body(tc)
+			m.ReleaseContext(i, wp.Now())
+			join.remaining--
+			if join.remaining == 0 && join.masterParked {
+				wp.Wake(join.master)
+			}
+		})
+	}
+
+	masterCtx := &Ctx{ID: 0, Size: n, CPU: c.CPU, m: m}
+	body(masterCtx)
+	if join.remaining > 0 {
+		join.masterParked = true
+		p.Park()
+	}
+}
+
+type joinState struct {
+	remaining    int
+	masterParked bool
+	master       *sim.Proc
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

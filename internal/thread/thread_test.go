@@ -1,0 +1,176 @@
+package thread
+
+import (
+	"testing"
+
+	"fdt/internal/machine"
+)
+
+func testMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	m, err := machine.New(machine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunExecutesMaster(t *testing.T) {
+	m := testMachine(t)
+	var ran bool
+	Run(m, func(c *Ctx) {
+		ran = true
+		if c.ID != 0 || c.Size != 1 {
+			t.Errorf("master ctx = (%d,%d), want (0,1)", c.ID, c.Size)
+		}
+		c.Compute(100)
+	})
+	if !ran {
+		t.Fatal("master body never ran")
+	}
+	if m.Eng.Now() != 100 {
+		t.Errorf("execution took %d cycles, want 100", m.Eng.Now())
+	}
+}
+
+func TestForkRunsAllThreads(t *testing.T) {
+	m := testMachine(t)
+	seen := make(map[int]int)
+	Run(m, func(c *Ctx) {
+		c.Fork(8, func(tc *Ctx) {
+			seen[tc.ID] = tc.Size
+			tc.Compute(10)
+		})
+	})
+	if len(seen) != 8 {
+		t.Fatalf("saw %d threads, want 8", len(seen))
+	}
+	for id, size := range seen {
+		if size != 8 {
+			t.Errorf("thread %d saw team size %d, want 8", id, size)
+		}
+	}
+}
+
+func TestForkJoinWaitsForSlowestThread(t *testing.T) {
+	m := testMachine(t)
+	var joinAt uint64
+	Run(m, func(c *Ctx) {
+		c.Fork(4, func(tc *Ctx) {
+			tc.Compute(uint64(100 * (tc.ID + 1))) // thread 3 takes 400
+		})
+		joinAt = c.CPU.CycleCount()
+	})
+	want := m.Cfg.ForkCost + 400
+	if joinAt != want {
+		t.Errorf("join at %d, want %d", joinAt, want)
+	}
+}
+
+func TestForkClampsToCoreCount(t *testing.T) {
+	m := testMachine(t)
+	var size int
+	Run(m, func(c *Ctx) {
+		c.Fork(1000, func(tc *Ctx) { size = tc.Size })
+	})
+	if size != m.Cores() {
+		t.Errorf("team size = %d, want %d", size, m.Cores())
+	}
+}
+
+func TestNestedForkPanics(t *testing.T) {
+	m := testMachine(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("nested fork did not panic")
+		}
+	}()
+	Run(m, func(c *Ctx) {
+		c.Fork(2, func(tc *Ctx) {
+			tc.Fork(2, func(*Ctx) {})
+		})
+	})
+}
+
+func TestSerialForkHasNoOverhead(t *testing.T) {
+	m := testMachine(t)
+	Run(m, func(c *Ctx) {
+		c.Fork(1, func(tc *Ctx) { tc.Compute(10) })
+	})
+	if m.Eng.Now() != 10 {
+		t.Errorf("n=1 fork took %d cycles, want 10 (no fork cost)", m.Eng.Now())
+	}
+}
+
+func TestRangeBlockDistribution(t *testing.T) {
+	covered := make([]int, 103)
+	for id := 0; id < 7; id++ {
+		c := &Ctx{ID: id, Size: 7}
+		lo, hi := c.Range(0, 103)
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+	}
+	for i, n := range covered {
+		if n != 1 {
+			t.Fatalf("index %d covered %d times, want exactly once", i, n)
+		}
+	}
+}
+
+func TestRangeEmptyAndSmall(t *testing.T) {
+	c := &Ctx{ID: 3, Size: 8}
+	if lo, hi := c.Range(5, 5); lo != hi {
+		t.Errorf("empty range returned [%d,%d)", lo, hi)
+	}
+	// 2 items across 8 threads: threads 0,1 get one each, rest empty.
+	total := 0
+	for id := 0; id < 8; id++ {
+		c := &Ctx{ID: id, Size: 8}
+		lo, hi := c.Range(0, 2)
+		total += hi - lo
+	}
+	if total != 2 {
+		t.Errorf("total items distributed = %d, want 2", total)
+	}
+}
+
+func TestPowerAccountsActiveCores(t *testing.T) {
+	m := testMachine(t)
+	Run(m, func(c *Ctx) {
+		c.Fork(4, func(tc *Ctx) { tc.Compute(1000) })
+	})
+	total := m.Eng.Now()
+	avg := m.Power.AverageActiveCores(total)
+	// Master active the whole run; 3 workers for ~1000 of ~1100
+	// cycles: average must be close to 4 and definitely > 3.
+	if avg < 3.0 || avg > 4.0 {
+		t.Errorf("avg active cores = %.2f, want in (3,4]", avg)
+	}
+}
+
+func TestForkPlacementOneThreadPerCore(t *testing.T) {
+	m := testMachine(t)
+	cores := make(map[int]bool)
+	Run(m, func(c *Ctx) {
+		c.Fork(6, func(tc *Ctx) {
+			if cores[tc.CPU.Core()] {
+				t.Errorf("core %d used twice", tc.CPU.Core())
+			}
+			cores[tc.CPU.Core()] = true
+		})
+	})
+	if len(cores) != 6 {
+		t.Errorf("used %d cores, want 6", len(cores))
+	}
+}
+
+func TestSequentialForksReuseCores(t *testing.T) {
+	m := testMachine(t)
+	Run(m, func(c *Ctx) {
+		for i := 0; i < 3; i++ {
+			c.Fork(4, func(tc *Ctx) { tc.Compute(10) })
+		}
+	})
+	// No panic from AcquireCore means release/acquire balanced.
+}

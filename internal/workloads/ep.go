@@ -1,0 +1,180 @@
+package workloads
+
+import (
+	"fmt"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/thread"
+)
+
+// EP re-implements the NAS "embarrassingly parallel" kernel as the
+// paper uses it: a linear-congruential pseudo-random number generator
+// whose threads draw numbers independently and periodically fold
+// their tallies (acceptance counts per annulus) into shared global
+// counters inside a critical section. The periodic merge is what
+// makes it synchronization-limited at small thread counts (Fig 8d:
+// best at 4 threads, SAT predicts 5).
+type EP struct {
+	m *machine.Machine
+	p EPParams
+
+	tallyAddr uint64
+	lock      *thread.Lock
+
+	global [epAnnuli]uint64
+	sumX   float64
+}
+
+const epAnnuli = 10
+
+// EPParams sizes EP.
+type EPParams struct {
+	// N is the total numbers to generate (paper: 262K; scaled 64K).
+	N int
+	// Batch is the numbers per kernel iteration.
+	Batch int
+	// GenInstr is the per-number generation + classification work.
+	GenInstr uint64
+	// MergeInstr is the critical-section work per merge.
+	MergeInstr uint64
+}
+
+// DefaultEPParams returns the scaled Table-2 input.
+func DefaultEPParams() EPParams {
+	return EPParams{
+		N:          64 << 10,
+		Batch:      128,
+		GenInstr:   24,
+		MergeInstr: 150,
+	}
+}
+
+// lcg is the NAS-style linear congruential generator: deterministic,
+// and — crucially for a parallel PRNG — skippable, so each thread can
+// jump to its own subsequence without coordination.
+type lcg struct{ s uint64 }
+
+const (
+	lcgA = 6364136223846793005
+	lcgC = 1442695040888963407
+)
+
+func (g *lcg) next() uint64 {
+	g.s = g.s*lcgA + lcgC
+	return g.s
+}
+
+// lcgAt returns the generator state after n steps from seed — the
+// standard O(log n) LCG jump, used to give iteration i an
+// interleaving-independent subsequence.
+func lcgAt(seed uint64, n uint64) lcg {
+	a, c := uint64(lcgA), uint64(lcgC)
+	aj, cj := uint64(1), uint64(0)
+	for n > 0 {
+		if n&1 == 1 {
+			aj = aj * a
+			cj = cj*a + c
+		}
+		c = c*a + c
+		a = a * a
+		n >>= 1
+	}
+	return lcg{s: seed*aj + cj}
+}
+
+// NewEP builds the workload.
+func NewEP(m *machine.Machine, p EPParams) *EP {
+	mustMachine(m, "ep")
+	w := &EP{m: m, p: p}
+	w.tallyAddr = m.Alloc(8 * epAnnuli)
+	w.lock = thread.NewLock(m)
+	return w
+}
+
+// Name implements core.Workload.
+func (w *EP) Name() string { return "ep" }
+
+// Kernels implements core.Workload.
+func (w *EP) Kernels() []core.Kernel { return []core.Kernel{w} }
+
+// Iterations implements core.Kernel: one iteration per batch.
+func (w *EP) Iterations() int {
+	return (w.p.N + w.p.Batch - 1) / w.p.Batch
+}
+
+// RunChunk implements core.Kernel: each iteration's batch is split
+// across the team; every thread generates its sub-batch from a jumped
+// LCG, classifies the draws into annuli, and merges its tallies into
+// the global counters inside the critical section.
+func (w *EP) RunChunk(master *thread.Ctx, n, lo, hi int) {
+	bar := &thread.Barrier{}
+	master.Fork(n, func(tc *thread.Ctx) {
+		for it := lo; it < hi; it++ {
+			batchLo := it * w.p.Batch
+			batchHi := batchLo + w.p.Batch
+			if batchHi > w.p.N {
+				batchHi = w.p.N
+			}
+			myLo, myHi := tc.Range(batchLo, batchHi)
+
+			var local [epAnnuli]uint64
+			var localSum float64
+			if myHi > myLo {
+				g := lcgAt(0x2545f49, uint64(myLo))
+				tc.Exec(uint64(myHi-myLo) * w.p.GenInstr)
+				for i := myLo; i < myHi; i++ {
+					u := float64(g.next()>>11) / float64(1<<53)
+					local[int(u*epAnnuli)]++
+					localSum += u
+				}
+			}
+
+			tc.Critical(w.lock, func() {
+				tc.LoadRange(w.tallyAddr, 8*epAnnuli)
+				tc.Exec(w.p.MergeInstr)
+				tc.StoreRange(w.tallyAddr, 8*epAnnuli)
+				for a, v := range local {
+					w.global[a] += v
+				}
+				w.sumX += localSum
+			})
+			tc.Barrier(bar)
+		}
+	})
+}
+
+// Verify regenerates the full sequence serially and compares tallies.
+func (w *EP) Verify() error {
+	var want [epAnnuli]uint64
+	g := lcgAt(0x2545f49, 0)
+	var total uint64
+	for i := 0; i < w.p.N; i++ {
+		u := float64(g.next()>>11) / float64(1<<53)
+		want[int(u*epAnnuli)]++
+		total++
+	}
+	var got uint64
+	for a := range want {
+		got += w.global[a]
+		if w.global[a] != want[a] {
+			return fmt.Errorf("ep: annulus %d = %d, want %d", a, w.global[a], want[a])
+		}
+	}
+	if got != total {
+		return fmt.Errorf("ep: generated %d numbers, want %d", got, total)
+	}
+	return nil
+}
+
+func init() {
+	register(Info{
+		Name:    "ep",
+		Class:   CSLimited,
+		Problem: "Linear Congruential PRNG",
+		Input:   "64K numbers",
+		Factory: func(m *machine.Machine) core.Workload {
+			return NewEP(m, DefaultEPParams())
+		},
+	})
+}

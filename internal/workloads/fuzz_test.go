@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+)
+
+// Parameter-fuzz properties: for randomized (small) workload
+// parameters, every workload must stay correct under FDT — whatever
+// the controller decides, the computed answer must match the serial
+// reference. These catch range/rounding bugs in iteration splitting
+// that fixed parameter sets would miss.
+
+func fuzzRun(t *testing.T, name string, build func(m *machine.Machine, a, b, c int) core.Workload, maxCount int) {
+	t.Helper()
+	f := func(ar, br, cr uint8) bool {
+		m := machine.MustNew(machine.DefaultConfig())
+		w := build(m, int(ar), int(br), int(cr))
+		core.NewController(core.Combined{}).Run(m, w)
+		if err := w.(Verifier).Verify(); err != nil {
+			t.Logf("%s: %v", name, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+func TestFuzzPageMine(t *testing.T) {
+	fuzzRun(t, "pagemine", func(m *machine.Machine, a, b, c int) core.Workload {
+		return NewPageMine(m, PageMineParams{
+			Pages:            10 + a%30,
+			PageBytes:        256 + 64*(b%16),
+			WorkPerCharInstr: uint64(1 + c%4),
+			MergePerBinInstr: 6,
+		})
+	}, 6)
+}
+
+func TestFuzzISort(t *testing.T) {
+	fuzzRun(t, "isort", func(m *machine.Machine, a, b, c int) core.Workload {
+		return NewISort(m, ISortParams{
+			N:                   256 + 64*(a%8),
+			Buckets:             8 << (b % 3),
+			Repeats:             9 + c%20,
+			WorkPerKeyInstr:     2,
+			MergePerBucketInstr: 16,
+		})
+	}, 6)
+}
+
+func TestFuzzED(t *testing.T) {
+	fuzzRun(t, "ed", func(m *machine.Machine, a, b, c int) core.Workload {
+		return NewED(m, EDParams{
+			N:           2048 + 512*(a%8),
+			Block:       128 << (b % 3),
+			MulAddInstr: uint64(2 + c%4),
+		})
+	}, 6)
+}
+
+func TestFuzzTranspose(t *testing.T) {
+	fuzzRun(t, "transpose", func(m *machine.Machine, a, b, c int) core.Workload {
+		return NewTranspose(m, TransposeParams{
+			Rows:      16 + 8*(a%6),
+			Cols:      64 + 8*(b%16),
+			ElemInstr: uint64(2 + c%4),
+		})
+	}, 6)
+}
+
+func TestFuzzMTwister(t *testing.T) {
+	fuzzRun(t, "mtwister", func(m *machine.Machine, a, b, c int) core.Workload {
+		return NewMTwister(m, MTwisterParams{
+			N:              2048 + 256*(a%8),
+			BlockLen:       128 << (b % 2),
+			GenInstr:       uint64(100 + c%100),
+			BoxMullerInstr: 40,
+		})
+	}, 6)
+}
+
+func TestFuzzBT(t *testing.T) {
+	fuzzRun(t, "bt", func(m *machine.Machine, a, b, c int) core.Workload {
+		return NewBT(m, BTParams{
+			Dim:       4 + a%4,
+			Steps:     8 + b%12,
+			CellInstr: uint64(40 + c%100),
+		})
+	}, 5)
+}
+
+func TestFuzzSConv(t *testing.T) {
+	fuzzRun(t, "sconv", func(m *machine.Machine, a, b, c int) core.Workload {
+		return NewSConv(m, SConvParams{
+			Size:     16 + 8*(a%4),
+			Radius:   2 + b%6,
+			Frames:   8 + c%8,
+			TapInstr: 2,
+		})
+	}, 5)
+}
+
+func TestFuzzBScholes(t *testing.T) {
+	fuzzRun(t, "bscholes", func(m *machine.Machine, a, b, c int) core.Workload {
+		return NewBScholes(m, BScholesParams{
+			Options:     128 + 32*(a%6),
+			Batch:       32 << (b % 2),
+			Passes:      8 + c%8,
+			OptionInstr: 200,
+			Rate:        0.02,
+			Vol:         0.30,
+		})
+	}, 5)
+}

@@ -1,0 +1,175 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/thread"
+)
+
+// ISort re-implements the NAS Integer Sort ranking kernel: every
+// iteration the keys are bucket-counted — threads count their key
+// ranges into private histograms in parallel, then merge into the
+// shared bucket array inside a critical section, then rank. The merge
+// serializes, which is what makes IS synchronization-limited on CMPs.
+//
+// Tuning target: single-thread CS fraction ~3%, P_CS ~ 5-7 (paper:
+// execution time minimized at 7 threads, Fig 8b).
+type ISort struct {
+	m *machine.Machine
+	p ISortParams
+
+	keys     []uint32
+	keysAddr uint64
+	bktAddr  uint64
+	lock     *thread.Lock
+
+	counts []uint64 // shared bucket counts of the last repeat
+	ranks  []uint32 // final ranking, computed by Finish
+}
+
+// ISortParams sizes ISort.
+type ISortParams struct {
+	// N is the key count (paper: 64K; scaled 4K, ranked 500 times).
+	N int
+	// Buckets is the number of count buckets.
+	Buckets int
+	// Repeats is the number of ranking iterations (NAS IS performs
+	// repeated rankings); each is one kernel iteration.
+	Repeats int
+	// WorkPerKeyInstr is the per-key classify work.
+	WorkPerKeyInstr uint64
+	// MergePerBucketInstr is the critical-section work per bucket.
+	MergePerBucketInstr uint64
+}
+
+// DefaultISortParams returns the scaled Table-2 input.
+func DefaultISortParams() ISortParams {
+	return ISortParams{
+		N:                   4 << 10,
+		Buckets:             16,
+		Repeats:             500,
+		WorkPerKeyInstr:     2,
+		MergePerBucketInstr: 48,
+	}
+}
+
+// NewISort builds the workload: deterministic keys in simulated
+// memory plus the shared bucket array.
+func NewISort(m *machine.Machine, p ISortParams) *ISort {
+	mustMachine(m, "isort")
+	w := &ISort{m: m, p: p}
+	w.keys = make([]uint32, p.N)
+	r := newRNG(0x150f7)
+	for i := range w.keys {
+		w.keys[i] = uint32(r.intn(p.Buckets))
+	}
+	w.keysAddr = m.Alloc(4 * p.N)
+	w.lock = thread.NewLock(m)
+	w.bktAddr = m.Alloc(8 * p.Buckets)
+	w.counts = make([]uint64, p.Buckets)
+	return w
+}
+
+// Name implements core.Workload.
+func (w *ISort) Name() string { return "isort" }
+
+// Kernels implements core.Workload.
+func (w *ISort) Kernels() []core.Kernel { return []core.Kernel{w} }
+
+// Iterations implements core.Kernel: one iteration per ranking pass.
+func (w *ISort) Iterations() int { return w.p.Repeats }
+
+// RunChunk implements core.Kernel.
+func (w *ISort) RunChunk(master *thread.Ctx, n, lo, hi int) {
+	bar := &thread.Barrier{}
+	master.Fork(n, func(tc *thread.Ctx) {
+		local := make([]uint64, w.p.Buckets)
+		for rep := lo; rep < hi; rep++ {
+			// Thread 0 clears the shared counts for this pass.
+			if tc.ID == 0 {
+				for b := range w.counts {
+					w.counts[b] = 0
+				}
+				tc.StoreRange(w.bktAddr, 8*w.p.Buckets)
+			}
+			tc.Barrier(bar)
+
+			// Parallel: count this thread's key range.
+			myLo, myHi := tc.Range(0, w.p.N)
+			if myHi > myLo {
+				tc.LoadRange(w.keysAddr+uint64(4*myLo), 4*(myHi-myLo))
+				tc.Exec(uint64(myHi-myLo) * w.p.WorkPerKeyInstr)
+				for i := myLo; i < myHi; i++ {
+					local[w.keys[i]]++
+				}
+			}
+
+			// Serial: merge into the shared bucket array.
+			tc.Critical(w.lock, func() {
+				tc.LoadRange(w.bktAddr, 8*w.p.Buckets)
+				tc.Exec(uint64(w.p.Buckets) * w.p.MergePerBucketInstr)
+				tc.StoreRange(w.bktAddr, 8*w.p.Buckets)
+				for b, v := range local {
+					w.counts[b] += v
+					local[b] = 0
+				}
+			})
+			tc.Barrier(bar)
+		}
+	})
+}
+
+// Finish computes the final key ranking from the last pass's bucket
+// counts (serial epilogue, done in host code).
+func (w *ISort) Finish() {
+	prefix := make([]uint64, w.p.Buckets)
+	var run uint64
+	for b := 0; b < w.p.Buckets; b++ {
+		prefix[b] = run
+		run += w.counts[b]
+	}
+	w.ranks = make([]uint32, w.p.N)
+	cursor := make([]uint64, w.p.Buckets)
+	for _, k := range w.keys {
+		w.ranks[prefix[k]+cursor[k]] = k
+		cursor[k]++
+	}
+}
+
+// Verify checks the bucket counts against a serial count and, if
+// Finish ran, that the ranking is a sorted permutation of the keys.
+func (w *ISort) Verify() error {
+	want := make([]uint64, w.p.Buckets)
+	for _, k := range w.keys {
+		want[k]++
+	}
+	for b := range want {
+		if w.counts[b] != want[b] {
+			return fmt.Errorf("isort: bucket %d = %d, want %d", b, w.counts[b], want[b])
+		}
+	}
+	if w.ranks != nil {
+		if len(w.ranks) != w.p.N {
+			return fmt.Errorf("isort: rank length %d, want %d", len(w.ranks), w.p.N)
+		}
+		if !sort.SliceIsSorted(w.ranks, func(i, j int) bool { return w.ranks[i] < w.ranks[j] }) {
+			return fmt.Errorf("isort: ranking is not sorted")
+		}
+	}
+	return nil
+}
+
+func init() {
+	register(Info{
+		Name:    "isort",
+		Class:   CSLimited,
+		Problem: "Integer sort",
+		Input:   "n = 4K x 500 rankings",
+		Factory: func(m *machine.Machine) core.Workload {
+			return NewISort(m, DefaultISortParams())
+		},
+	})
+}

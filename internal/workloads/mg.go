@@ -1,0 +1,240 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/thread"
+)
+
+// MG re-implements the computational pattern of the NAS MG multigrid
+// solver: V-cycles that smooth a fine 3D grid, restrict the residual
+// to a coarse grid, smooth there, and prolongate back. Both grids
+// stay on chip and the arithmetic dominates, so the kernel scales —
+// FDT must keep it at 32 threads.
+type MG struct {
+	m *machine.Machine
+	p MGParams
+
+	fine, fineNext       []float64
+	coarse, coarseNext   []float64
+	fineAddr, coarseAddr uint64
+
+	kernel *phasedKernel
+}
+
+// Slab counts for the V-cycle's four parallel phases. The fine-grid
+// phases split finer than the coarse ones, keeping per-slab work
+// roughly even.
+const (
+	mgFineSlabs   = 32
+	mgCoarseSlabs = 8
+)
+
+// MGParams sizes MG.
+type MGParams struct {
+	// Dim is the fine-grid edge (paper: 64; scaled 24).
+	Dim int
+	// Cycles is the number of V-cycles (kernel iterations).
+	Cycles int
+	// PointInstr is the per-point smoothing work.
+	PointInstr uint64
+}
+
+// DefaultMGParams returns the scaled Table-2 input.
+func DefaultMGParams() MGParams {
+	return MGParams{Dim: 16, Cycles: 150, PointInstr: 24}
+}
+
+// NewMG builds the workload with a deterministic initial field.
+func NewMG(m *machine.Machine, p MGParams) *MG {
+	mustMachine(m, "mg")
+	if p.Dim%2 != 0 {
+		panic("mg: Dim must be even for restriction")
+	}
+	w := &MG{m: m, p: p}
+	nf := p.Dim * p.Dim * p.Dim
+	nc := nf / 8
+	w.fine = make([]float64, nf)
+	w.fineNext = make([]float64, nf)
+	w.coarse = make([]float64, nc)
+	w.coarseNext = make([]float64, nc)
+	r := newRNG(0x3197)
+	for i := range w.fine {
+		w.fine[i] = r.float64()
+	}
+	w.fineAddr = m.Alloc(8 * nf)
+	w.coarseAddr = m.Alloc(8 * nc)
+	w.buildKernel()
+	return w
+}
+
+// buildKernel assembles the V-cycle as a phased kernel: smooth(fine)
+// -> restrict -> smooth(coarse) -> prolongate, with slabs as the FDT
+// iterations.
+func (w *MG) buildKernel() {
+	d := w.p.Dim
+	dc := d / 2
+	nf := d * d * d
+	nc := nf / 8
+	fineSlab := func(tc *thread.Ctx, slab int, work func(lo, hi int)) {
+		lo, hi := slabRange(slab, mgFineSlabs, nf)
+		w.slabMem(tc, w.fineAddr, lo, hi, work)
+	}
+	coarseSlab := func(tc *thread.Ctx, slab int, work func(lo, hi int)) {
+		lo, hi := slabRange(slab, mgCoarseSlabs, nc)
+		w.slabMem(tc, w.coarseAddr, lo, hi, work)
+	}
+	w.kernel = &phasedKernel{
+		name:  "mg",
+		steps: w.p.Cycles,
+		phases: []phase{
+			{
+				slabs: mgFineSlabs,
+				run: func(tc *thread.Ctx, s int) {
+					fineSlab(tc, s, func(lo, hi int) { smooth(w.fine, w.fineNext, d, lo, hi) })
+				},
+				after: func() { w.fine, w.fineNext = w.fineNext, w.fine },
+			},
+			{
+				slabs: mgCoarseSlabs,
+				run: func(tc *thread.Ctx, s int) {
+					coarseSlab(tc, s, func(lo, hi int) {
+						for c := lo; c < hi; c++ {
+							x, y, z := c/(dc*dc), c/dc%dc, c%dc
+							sum := 0.0
+							for ox := 0; ox < 2; ox++ {
+								for oy := 0; oy < 2; oy++ {
+									for oz := 0; oz < 2; oz++ {
+										sum += w.fine[idx3(2*x+ox, 2*y+oy, 2*z+oz, d)]
+									}
+								}
+							}
+							w.coarse[c] = sum / 8
+						}
+					})
+				},
+			},
+			{
+				slabs: mgCoarseSlabs,
+				run: func(tc *thread.Ctx, s int) {
+					coarseSlab(tc, s, func(lo, hi int) { smooth(w.coarse, w.coarseNext, dc, lo, hi) })
+				},
+				after: func() { w.coarse, w.coarseNext = w.coarseNext, w.coarse },
+			},
+			{
+				slabs: mgFineSlabs,
+				run: func(tc *thread.Ctx, s int) {
+					fineSlab(tc, s, func(lo, hi int) {
+						for c := lo; c < hi; c++ {
+							x, y, z := c/(d*d), c/d%d, c%d
+							w.fine[c] = 0.75*w.fine[c] + 0.25*w.coarse[idx3(x/2, y/2, z/2, dc)]
+						}
+					})
+				},
+			},
+		},
+	}
+}
+
+// slabMem charges a slab's memory traffic and compute, then performs
+// the real arithmetic.
+func (w *MG) slabMem(tc *thread.Ctx, addr uint64, lo, hi int, work func(lo, hi int)) {
+	if hi <= lo {
+		return
+	}
+	tc.LoadRange(addr+uint64(8*lo), 8*(hi-lo))
+	tc.Exec(uint64(hi-lo) * w.p.PointInstr)
+	work(lo, hi)
+	tc.StoreRange(addr+uint64(8*lo), 8*(hi-lo))
+}
+
+// Name implements core.Workload.
+func (w *MG) Name() string { return "mg" }
+
+// Kernels implements core.Workload.
+func (w *MG) Kernels() []core.Kernel { return []core.Kernel{w.kernel} }
+
+func idx3(x, y, z, d int) int {
+	x, y, z = (x+d)%d, (y+d)%d, (z+d)%d
+	return (x*d+y)*d + z
+}
+
+// smooth performs one Jacobi smoothing step of src into dst over the
+// block [lo, hi) of a d-edged grid.
+func smooth(src, dst []float64, d, lo, hi int) {
+	for c := lo; c < hi; c++ {
+		x, y, z := c/(d*d), c/d%d, c%d
+		sum := src[idx3(x-1, y, z, d)] + src[idx3(x+1, y, z, d)] +
+			src[idx3(x, y-1, z, d)] + src[idx3(x, y+1, z, d)] +
+			src[idx3(x, y, z-1, d)] + src[idx3(x, y, z+1, d)]
+		dst[c] = 0.5*src[c] + sum/12
+	}
+}
+
+// Checksum reduces the fine grid to one number.
+func (w *MG) Checksum() float64 {
+	var s float64
+	for _, v := range w.fine {
+		s += v
+	}
+	return s
+}
+
+// Verify replays the V-cycles serially and compares checksums.
+func (w *MG) Verify() error {
+	ref := NewMG(machine.MustNew(machine.DefaultConfig()), w.p)
+	d := ref.p.Dim
+	dc := d / 2
+	nf := d * d * d
+	nc := nf / 8
+	for cyc := 0; cyc < ref.p.Cycles; cyc++ {
+		smooth(ref.fine, ref.fineNext, d, 0, nf)
+		ref.fine, ref.fineNext = ref.fineNext, ref.fine
+		for c := 0; c < nc; c++ {
+			x, y, z := c/(dc*dc), c/dc%dc, c%dc
+			sum := 0.0
+			for ox := 0; ox < 2; ox++ {
+				for oy := 0; oy < 2; oy++ {
+					for oz := 0; oz < 2; oz++ {
+						sum += ref.fine[idx3(2*x+ox, 2*y+oy, 2*z+oz, d)]
+					}
+				}
+			}
+			ref.coarse[c] = sum / 8
+		}
+		smooth(ref.coarse, ref.coarseNext, dc, 0, nc)
+		ref.coarse, ref.coarseNext = ref.coarseNext, ref.coarse
+		for c := 0; c < nf; c++ {
+			x, y, z := c/(d*d), c/d%d, c%d
+			ref.fine[c] = 0.75*ref.fine[c] + 0.25*ref.coarse[idx3(x/2, y/2, z/2, dc)]
+		}
+	}
+	want, got := ref.Checksum(), w.Checksum()
+	if math.Abs(want-got) > 1e-9*math.Abs(want) {
+		return fmt.Errorf("mg: checksum %v, want %v", got, want)
+	}
+	return nil
+}
+
+func init() {
+	register(Info{
+		Name:    "mg",
+		Class:   Scalable,
+		Problem: "Multi-grid solver",
+		Input:   "16x16x16 x 150 V-cycles",
+		Factory: func(m *machine.Machine) core.Workload {
+			return NewMG(m, DefaultMGParams())
+		},
+	})
+}
+
+// Setup implements core.SetupWorkload: serial initialization of both
+// grids, warming the on-chip caches.
+func (w *MG) Setup(c *thread.Ctx) {
+	c.StoreRange(w.fineAddr, 8*len(w.fine))
+	c.StoreRange(w.coarseAddr, 8*len(w.coarse))
+	c.Exec(uint64(len(w.fine) + len(w.coarse)))
+}

@@ -1,0 +1,82 @@
+package workloads
+
+import "fdt/internal/thread"
+
+// phase is one barrier-separated stage of a step: slabs independent
+// units of parallel work, after an optional thread-0 action run once
+// when the phase's last slab completes (buffer swaps).
+type phase struct {
+	slabs int
+	run   func(tc *thread.Ctx, slab int)
+	after func()
+}
+
+// phasedKernel drives kernels structured as `steps` repetitions of a
+// fixed sequence of phases. Its FDT iterations are the individual
+// slabs — the fine-grained units of the parallelized loops — so
+// training on a handful of iterations costs a handful of slabs, not
+// whole time steps, exactly as the paper's loop-peeled training does.
+//
+// RunChunk may start and end in the middle of a phase; the phase's
+// `after` action fires only in the chunk that completes it, so
+// training chunks and the execution chunk compose into exactly one
+// pass over the step sequence.
+type phasedKernel struct {
+	name   string
+	steps  int
+	phases []phase
+}
+
+func (k *phasedKernel) Name() string { return k.name }
+
+func (k *phasedKernel) slabsPerStep() int {
+	total := 0
+	for _, p := range k.phases {
+		total += p.slabs
+	}
+	return total
+}
+
+// Iterations implements core.Kernel.
+func (k *phasedKernel) Iterations() int { return k.steps * k.slabsPerStep() }
+
+// locate maps a global iteration index to its phase and the slab
+// offset within it.
+func (k *phasedKernel) locate(it int) (phaseIdx, slab int) {
+	within := it % k.slabsPerStep()
+	for i, p := range k.phases {
+		if within < p.slabs {
+			return i, within
+		}
+		within -= p.slabs
+	}
+	panic("workloads: phased kernel iteration out of range")
+}
+
+// RunChunk implements core.Kernel.
+func (k *phasedKernel) RunChunk(master *thread.Ctx, n, lo, hi int) {
+	bar := &thread.Barrier{}
+	master.Fork(n, func(tc *thread.Ctx) {
+		it := lo
+		for it < hi {
+			phaseIdx, slabOff := k.locate(it)
+			ph := k.phases[phaseIdx]
+			end := slabOff + (hi - it)
+			if end > ph.slabs {
+				end = ph.slabs
+			}
+			myLo, myHi := tc.Range(slabOff, end)
+			for s := myLo; s < myHi; s++ {
+				ph.run(tc, s)
+			}
+			tc.Barrier(bar)
+			if end == ph.slabs && ph.after != nil {
+				if tc.ID == 0 {
+					ph.after()
+				}
+				tc.Barrier(bar)
+			}
+			it += end - slabOff
+		}
+	})
+}
