@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	fdtreport                 # everything (minutes: Fig 15 runs the oracle)
+//	fdtreport                 # everything (Fig 15 runs the oracle)
 //	fdtreport -only fig14     # one experiment
 //	fdtreport -fast           # coarser sweeps for a quick look
 //	fdtreport -csv out/       # also write out/fig2.csv, out/fig14.csv, ...
+//	fdtreport -parallel 1     # legacy serial execution (0 = GOMAXPROCS)
+//
+// Independent simulations fan out over a host worker pool and are
+// memoized for the process lifetime, so figures sharing baseline
+// sweeps (8, 9, 10, 14, 15) simulate each distinct run once; the
+// footer reports the worker count and the run-cache hit rate.
 package main
 
 import (
@@ -18,17 +24,21 @@ import (
 	"strings"
 	"time"
 
+	"fdt/internal/core"
 	"fdt/internal/experiments"
+	"fdt/internal/runner"
 )
 
 func main() {
 	var (
-		only   = flag.String("only", "", "run a single experiment: table1, table2, fig2, fig4, fig8, fig9, fig10, fig12, fig13, fig14, fig15, smt, trainingcost, ablations")
-		fast   = flag.Bool("fast", false, "sweep a reduced set of thread counts")
-		csvDir = flag.String("csv", "", "directory to write per-figure CSV files into")
+		only     = flag.String("only", "", "run a single experiment: table1, table2, fig2, fig4, fig8, fig9, fig10, fig12, fig13, fig14, fig15, smt, trainingcost, ablations")
+		fast     = flag.Bool("fast", false, "sweep a reduced set of thread counts")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
+		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
+	runner.SetWorkers(*parallel)
 	o := experiments.DefaultOptions()
 	if *fast {
 		o.SweepThreads = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32}
@@ -97,4 +107,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fdtreport: unknown experiment %q\n", *only)
 		os.Exit(2)
 	}
+
+	hits, misses := core.RunCacheStats()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("[%d workers; run cache: %d hits / %d misses (%.1f%% hit rate)]\n",
+		runner.Workers(), hits, misses, rate)
 }

@@ -8,6 +8,10 @@
 //	fdtsweep -workload ed
 //	fdtsweep -workload pagemine -threads 1,2,4,8,16,32
 //	fdtsweep -workload convert -bandwidth 2
+//	fdtsweep -workload ed -parallel 1   # legacy serial (0 = GOMAXPROCS)
+//
+// Sweep points are independent simulations; they fan out over a host
+// worker pool and land in the process-wide run cache.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"fdt/internal/core"
 	"fdt/internal/machine"
+	"fdt/internal/runner"
 	"fdt/internal/stats"
 	"fdt/internal/workloads"
 )
@@ -30,8 +35,10 @@ func main() {
 		cores     = flag.Int("cores", 32, "cores on the simulated chip")
 		bandwidth = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
 		policies  = flag.String("policies", "sat,bat,sat+bat", "feedback policies to place on the curve")
+		parallel  = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+	runner.SetWorkers(*parallel)
 
 	info, ok := workloads.ByName(*workload)
 	if !ok {
@@ -47,7 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	sweep := core.Sweep(cfg, factory, counts)
+	sweep := core.SweepKeyed(cfg, info.Name, factory, counts)
 	base := sweep[0].TotalCycles // normalize to the 1-thread run
 	fmt.Printf("# %s on %d cores, %.2gx bandwidth (time normalized to %d threads)\n",
 		info.Name, *cores, *bandwidth, counts[0])
@@ -74,7 +81,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fdtsweep:", err)
 			os.Exit(2)
 		}
-		r := core.RunPolicy(cfg, factory, pol)
+		r := core.RunPolicyKeyed(cfg, info.Name, factory, pol)
 		fmt.Printf("# %-8s -> ", r.Policy)
 		for _, k := range r.Kernels {
 			fmt.Printf("[%s threads=%d pcs=%d pbw=%d csfrac=%.2f%% bu1=%.2f%%] ",
@@ -84,6 +91,14 @@ func main() {
 		fmt.Printf("time=%.3f power=%.2f\n",
 			float64(r.TotalCycles)/float64(base), r.AvgActiveCores)
 	}
+
+	hits, misses := core.RunCacheStats()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = 100 * float64(hits) / float64(hits+misses)
+	}
+	fmt.Printf("# [%d workers; run cache: %d hits / %d misses (%.1f%% hit rate)]\n",
+		runner.Workers(), hits, misses, rate)
 }
 
 func parseThreads(s string, cores int) ([]int, error) {

@@ -19,13 +19,11 @@ func RunPolicy(cfg machine.Config, f Factory, pol Policy) RunResult {
 
 // Sweep runs the workload once per requested static thread count and
 // returns the results in the same order — the baseline curves of
-// Figs 2, 4, 8, 10, 12 and 13.
+// Figs 2, 4, 8, 10, 12 and 13. The independent simulations fan out
+// over the runner's worker pool; results are identical to a serial
+// sweep because each point runs on its own fresh machine.
 func Sweep(cfg machine.Config, f Factory, threadCounts []int) []RunResult {
-	out := make([]RunResult, 0, len(threadCounts))
-	for _, n := range threadCounts {
-		out = append(out, RunPolicy(cfg, f, Static{N: n}))
-	}
-	return out
+	return SweepKeyed(cfg, "", f, threadCounts)
 }
 
 // SweepAll sweeps static thread counts 1..cores.

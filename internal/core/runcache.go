@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"fdt/internal/machine"
+	"fdt/internal/runner"
+)
+
+// The run cache memoizes deterministic simulated executions for the
+// lifetime of the process. Every run is a pure function of (machine
+// config, workload identity, policy) — the simulator admits no host
+// nondeterminism — so figures that sweep the same baselines (Fig 8,
+// 14 and 15 all run the twelve workloads over the same static thread
+// counts) share one simulation per distinct run instead of
+// re-simulating it per figure.
+//
+// Cache keys are content-addressed: the machine config's printed
+// fields, the caller-supplied workload key, and the policy's resolved
+// identity. A run is cacheable only when the caller can name the
+// workload (including any non-default parameters) — closures carry no
+// identity of their own, so an empty workload key bypasses the cache.
+var runCache runner.Cache[RunResult]
+
+// RunCacheStats reports process-lifetime run-cache hits and misses.
+func RunCacheStats() (hits, misses uint64) { return runCache.Stats() }
+
+// ResetRunCache drops every memoized run and zeroes the statistics.
+// Tests and benchmarks use it to measure cold-cache behaviour.
+func ResetRunCache() { runCache.Reset() }
+
+// ConfigKey fingerprints a machine configuration for cache keying.
+// machine.Config is a tree of value types, so the printed form is a
+// complete content address.
+func ConfigKey(cfg machine.Config) string {
+	return fmt.Sprintf("%+v", cfg)
+}
+
+// policyKey resolves a policy to its cache identity on a machine with
+// the given core count. Static counts are normalized (Static{} and
+// Static{N: cores} are the same run); trained policies are identified
+// by name, which is sufficient because RunPolicy always trains with
+// DefaultTrainingParams. Custom controllers must not use the cache.
+//
+// A memoized RunResult carries the Policy label of whichever
+// equivalent policy simulated first ("static-all" vs "static-32");
+// the label is display-only, every measured quantity is identical.
+func policyKey(pol Policy, cores int) string {
+	if s, ok := pol.(Static); ok {
+		return fmt.Sprintf("static/%d", s.StaticThreads(cores))
+	}
+	return "policy/" + pol.Name()
+}
+
+// runKey composes the full content address for one simulated run.
+func runKey(cfg machine.Config, wkey string, pol Policy) string {
+	return ConfigKey(cfg) + "|" + wkey + "|" + policyKey(pol, machineContexts(cfg))
+}
+
+// machineContexts mirrors machine.Machine.Contexts for a config.
+func machineContexts(cfg machine.Config) int {
+	return cfg.Mem.Cores * cfg.SMTContexts
+}
+
+// RunPolicyKeyed is RunPolicy with a workload cache key: wkey names
+// the workload and its parameters (e.g. "pagemine" or
+// "pagemine/pb=2560"). The first call per (config, wkey, policy)
+// simulates; later calls — from any figure, on any worker — return
+// the memoized result. An empty wkey disables caching and is
+// equivalent to RunPolicy.
+func RunPolicyKeyed(cfg machine.Config, wkey string, f Factory, pol Policy) RunResult {
+	if wkey == "" {
+		return RunPolicy(cfg, f, pol)
+	}
+	return runCache.Do(runKey(cfg, wkey, pol), func() RunResult {
+		return RunPolicy(cfg, f, pol)
+	})
+}
+
+// SweepKeyed runs the workload once per requested static thread count,
+// fanning the independent simulations out over the runner's worker
+// pool and memoizing each point under wkey. Results are ordered by
+// thread count exactly as a serial sweep would produce them.
+func SweepKeyed(cfg machine.Config, wkey string, f Factory, threadCounts []int) []RunResult {
+	out := make([]RunResult, len(threadCounts))
+	runner.Map(len(threadCounts), func(i int) {
+		out[i] = RunPolicyKeyed(cfg, wkey, f, Static{N: threadCounts[i]})
+	})
+	return out
+}

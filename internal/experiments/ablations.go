@@ -6,6 +6,7 @@ import (
 
 	"fdt/internal/core"
 	"fdt/internal/machine"
+	"fdt/internal/runner"
 )
 
 // Ablations quantify the design choices DESIGN.md Section 6 calls
@@ -45,7 +46,9 @@ func (a Ablation) String() string {
 }
 
 func ablationRow(cfgName, workload string, cfg machine.Config, pol core.Policy) AblationRow {
-	r := core.RunPolicy(cfg, factory(workload), pol)
+	// Keyed by workload name; the machine fingerprint in the cache key
+	// keeps each ablation's config variant distinct.
+	r := core.RunPolicyKeyed(cfg, workload, factory(workload), pol)
 	k := r.Kernels[0]
 	return AblationRow{
 		Config:     cfgName,
@@ -136,7 +139,7 @@ func AblationStabilityWindow(o Options) Ablation {
 func AblationTrainingOverhead(o Options) Ablation {
 	a := Ablation{Title: "FDT training vs hill-climbing allocation search"}
 	for _, name := range []string{"pagemine", "ed", "bscholes"} {
-		fdt := core.RunPolicy(o.Cfg, factory(name), core.Combined{})
+		fdt := core.RunPolicyKeyed(o.Cfg, name, factory(name), core.Combined{})
 		m := machine.MustNew(o.Cfg)
 		hc := core.HillClimb{}.Run(m, factory(name)(m))
 		a.Rows = append(a.Rows,
@@ -163,7 +166,7 @@ func AblationTrainingOverhead(o Options) Ablation {
 func AblationRefinedBAT(o Options) Ablation {
 	a := Ablation{Title: "BAT vs refined BAT (future work, Section 9)"}
 	for _, name := range []string{"ed", "convert", "transpose"} {
-		plain := core.RunPolicy(o.Cfg, factory(name), core.BAT{})
+		plain := core.RunPolicyKeyed(o.Cfg, name, factory(name), core.BAT{})
 		m := machine.MustNew(o.Cfg)
 		refined := core.RefinedBAT{}.Run(m, factory(name)(m))
 		a.Rows = append(a.Rows,
@@ -200,15 +203,21 @@ func AblationPrefetcher(o Options) Ablation {
 	return a
 }
 
-// RunAblations executes the full ablation set.
+// RunAblations executes the full ablation set, one parallel lane per
+// study (each study is itself a handful of independent simulations).
 func RunAblations(o Options) []Ablation {
-	return []Ablation{
-		AblationRowBuffer(o),
-		AblationCoherence(o),
-		AblationStoreBuffer(o),
-		AblationStabilityWindow(o),
-		AblationTrainingOverhead(o),
-		AblationRefinedBAT(o),
-		AblationPrefetcher(o),
+	studies := []func(Options) Ablation{
+		AblationRowBuffer,
+		AblationCoherence,
+		AblationStoreBuffer,
+		AblationStabilityWindow,
+		AblationTrainingOverhead,
+		AblationRefinedBAT,
+		AblationPrefetcher,
 	}
+	out := make([]Ablation, len(studies))
+	runner.Map(len(studies), func(i int) {
+		out[i] = studies[i](o)
+	})
+	return out
 }

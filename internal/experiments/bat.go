@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fdt/internal/core"
+	"fdt/internal/runner"
 )
 
 // Fig12 reproduces Figure 12: BAT's placement on the baseline curves
@@ -27,10 +28,12 @@ type Fig12Panel struct {
 // Fig12Workloads lists the panel order.
 var Fig12Workloads = []string{"ed", "convert", "transpose", "mtwister"}
 
-// RunFig12 executes the experiment.
+// RunFig12 executes the experiment, one parallel panel per workload.
 func RunFig12(o Options) Fig12 {
 	var f Fig12
-	for _, name := range Fig12Workloads {
+	f.Panels = make([]Fig12Panel, len(Fig12Workloads))
+	runner.Map(len(Fig12Workloads), func(i int) {
+		name := Fig12Workloads[i]
 		c := sweep(o, name)
 		bat := policyPoint(o, name, core.BAT{}, c)
 		allCores := c.Points[len(c.Points)-1].Power
@@ -38,8 +41,8 @@ func RunFig12(o Options) Fig12 {
 		if allCores > 0 {
 			saving = 100 * (1 - bat.Run.AvgActiveCores/allCores)
 		}
-		f.Panels = append(f.Panels, Fig12Panel{Curve: c, BAT: bat, PowerSavingPct: saving})
-	}
+		f.Panels[i] = Fig12Panel{Curve: c, BAT: bat, PowerSavingPct: saving}
+	})
 	return f
 }
 
@@ -64,17 +67,24 @@ type Fig13 struct {
 	BATHalf, BATDouble PolicyPoint
 }
 
-// RunFig13 executes the experiment.
+// RunFig13 executes the experiment; the two machine variants simulate
+// in parallel (the run cache keeps them distinct via the machine
+// fingerprint in every key).
 func RunFig13(o Options) Fig13 {
 	var f Fig13
 	half := o
 	half.Cfg = o.Cfg.WithBandwidth(0.5)
 	double := o
 	double.Cfg = o.Cfg.WithBandwidth(2)
-	f.Half = sweep(half, "convert")
-	f.BATHalf = policyPoint(half, "convert", core.BAT{}, f.Half)
-	f.Double = sweep(double, "convert")
-	f.BATDouble = policyPoint(double, "convert", core.BAT{}, f.Double)
+	runner.Map(2, func(i int) {
+		if i == 0 {
+			f.Half = sweep(half, "convert")
+			f.BATHalf = policyPoint(half, "convert", core.BAT{}, f.Half)
+		} else {
+			f.Double = sweep(double, "convert")
+			f.BATDouble = policyPoint(double, "convert", core.BAT{}, f.Double)
+		}
+	})
 	return f
 }
 

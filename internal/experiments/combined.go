@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fdt/internal/core"
+	"fdt/internal/runner"
 	"fdt/internal/stats"
 	"fdt/internal/workloads"
 )
@@ -39,22 +40,27 @@ type Fig14 struct {
 	GmeanPower float64
 }
 
-// RunFig14 executes the experiment.
+// RunFig14 executes the experiment. The twelve workloads simulate in
+// parallel on the runner's worker pool; the conventional-threading
+// baselines and FDT runs are memoized, so Fig 8/12/15 reuse them.
 func RunFig14(o Options) Fig14 {
 	var f Fig14
-	var times, powers []float64
-	for _, name := range AllWorkloads {
+	f.Rows = make([]Fig14Row, len(AllWorkloads))
+	runner.Map(len(AllWorkloads), func(i int) {
+		name := AllWorkloads[i]
 		info, _ := workloads.ByName(name)
-		base := core.RunPolicy(o.Cfg, factory(name), core.Static{})
-		fdt := core.RunPolicy(o.Cfg, factory(name), core.Combined{})
-		row := Fig14Row{
+		base := runNamed(o, name, core.Static{})
+		fdt := runNamed(o, name, core.Combined{})
+		f.Rows[i] = Fig14Row{
 			Workload:  name,
 			Class:     info.Class,
 			NormTime:  float64(fdt.TotalCycles) / float64(base.TotalCycles),
 			NormPower: fdt.AvgActiveCores / base.AvgActiveCores,
 			Threads:   fdt.AvgThreads(),
 		}
-		f.Rows = append(f.Rows, row)
+	})
+	var times, powers []float64
+	for _, row := range f.Rows {
 		times = append(times, row.NormTime)
 		powers = append(powers, row.NormPower)
 	}
@@ -102,16 +108,18 @@ type Fig15 struct {
 
 // RunFig15 executes the experiment. It is the heaviest experiment in
 // the suite: the oracle simulates every swept thread count for every
-// application.
+// application. The per-workload oracles fan out in parallel, and
+// every run is memoized — the static sweeps behind Fig 8 and Fig 12
+// and the FDT/baseline runs behind Fig 14 are recalled, not re-run.
 func RunFig15(o Options) Fig15 {
 	var f Fig15
-	var ft, ot, fp, op []float64
-	for _, name := range AllWorkloads {
-		fac := factory(name)
-		oracle := oracleOver(o, fac)
-		fdt := core.RunPolicy(o.Cfg, fac, core.Combined{})
-		base := core.RunPolicy(o.Cfg, fac, core.Static{})
-		row := Fig15Row{
+	f.Rows = make([]Fig15Row, len(AllWorkloads))
+	runner.Map(len(AllWorkloads), func(i int) {
+		name := AllWorkloads[i]
+		oracle := oracleOver(o, name, factory(name))
+		fdt := runNamed(o, name, core.Combined{})
+		base := runNamed(o, name, core.Static{})
+		f.Rows[i] = Fig15Row{
 			Workload:      name,
 			FDTTime:       float64(fdt.TotalCycles) / float64(base.TotalCycles),
 			OracleTime:    float64(oracle.Run.TotalCycles) / float64(base.TotalCycles),
@@ -119,7 +127,9 @@ func RunFig15(o Options) Fig15 {
 			OraclePower:   oracle.Run.AvgActiveCores / base.AvgActiveCores,
 			OracleThreads: oracle.Threads,
 		}
-		f.Rows = append(f.Rows, row)
+	})
+	var ft, ot, fp, op []float64
+	for _, row := range f.Rows {
 		ft = append(ft, row.FDTTime)
 		ot = append(ot, row.OracleTime)
 		fp = append(fp, row.FDTPower)
@@ -132,10 +142,11 @@ func RunFig15(o Options) Fig15 {
 	return f
 }
 
-// oracleOver runs the oracle restricted to the options' sweep set.
-func oracleOver(o Options, fac core.Factory) core.OracleResult {
+// oracleOver runs the oracle restricted to the options' sweep set,
+// with the sweep memoized under the workload key.
+func oracleOver(o Options, wkey string, fac core.Factory) core.OracleResult {
 	ts := o.threads()
-	runs := core.Sweep(o.Cfg, fac, ts)
+	runs := core.SweepKeyed(o.Cfg, wkey, fac, ts)
 	times := make([]uint64, len(runs))
 	for i, r := range runs {
 		times[i] = r.TotalCycles

@@ -69,10 +69,19 @@ type Curve struct {
 	MinCycles  uint64
 }
 
-// sweep produces a Curve for a workload.
+// runNamed executes (or recalls) a registered workload under a policy
+// through the process-wide run cache, keyed by the workload name.
+func runNamed(o Options, name string, pol core.Policy) core.RunResult {
+	return core.RunPolicyKeyed(o.Cfg, name, factory(name), pol)
+}
+
+// sweep produces a Curve for a workload. Sweep points are simulated in
+// parallel and memoized under the workload name, so figures sharing a
+// baseline (Fig 8's panels reappear inside Fig 15's oracle) simulate
+// each point once per process.
 func sweep(o Options, name string) Curve {
 	ts := o.threads()
-	runs := core.Sweep(o.Cfg, factory(name), ts)
+	runs := core.SweepKeyed(o.Cfg, name, factory(name), ts)
 	base := runs[0].TotalCycles
 	c := Curve{Workload: name}
 	times := make([]uint64, len(runs))
@@ -101,7 +110,7 @@ type PolicyPoint struct {
 }
 
 func policyPoint(o Options, name string, pol core.Policy, c Curve) PolicyPoint {
-	r := core.RunPolicy(o.Cfg, factory(name), pol)
+	r := runNamed(o, name, pol)
 	base := c.Points[0].Cycles
 	return PolicyPoint{
 		Policy:     pol.Name(),

@@ -6,6 +6,7 @@ import (
 
 	"fdt/internal/core"
 	"fdt/internal/machine"
+	"fdt/internal/runner"
 	"fdt/internal/workloads"
 )
 
@@ -26,16 +27,18 @@ type Fig08Panel struct {
 // Fig08Workloads lists the panel order.
 var Fig08Workloads = []string{"pagemine", "isort", "gsearch", "ep"}
 
-// RunFig08 executes the experiment.
+// RunFig08 executes the experiment, one parallel panel per workload.
 func RunFig08(o Options) Fig08 {
 	var f Fig08
-	for _, name := range Fig08Workloads {
+	f.Panels = make([]Fig08Panel, len(Fig08Workloads))
+	runner.Map(len(Fig08Workloads), func(i int) {
+		name := Fig08Workloads[i]
 		c := sweep(o, name)
-		f.Panels = append(f.Panels, Fig08Panel{
+		f.Panels[i] = Fig08Panel{
 			Curve: c,
 			SAT:   policyPoint(o, name, core.SAT{}, c),
-		})
-	}
+		}
+	})
 	return f
 }
 
@@ -62,25 +65,38 @@ type Fig09 struct {
 // Fig09PageSizes are the swept page sizes (bytes).
 var Fig09PageSizes = []int{1 << 10, 2560, 5280, 10 << 10, 15 << 10, 20 << 10, 25 << 10}
 
-// RunFig09 executes the experiment.
+// RunFig09 executes the experiment, one parallel lane per page size.
+// Each lane's runs are keyed by the PageMine parameters, so the 2.5KB
+// and 10KB sweeps are shared verbatim with Fig 10.
 func RunFig09(o Options) Fig09 {
 	var f Fig09
-	for _, pb := range Fig09PageSizes {
-		params := workloads.DefaultPageMineParams()
-		params.PageBytes = pb
-		fac := func(m *machine.Machine) core.Workload { return workloads.NewPageMine(m, params) }
-		runs := core.Sweep(o.Cfg, fac, o.threads())
+	f.PageBytes = make([]int, len(Fig09PageSizes))
+	f.BestThreads = make([]int, len(Fig09PageSizes))
+	f.SATThreads = make([]int, len(Fig09PageSizes))
+	runner.Map(len(Fig09PageSizes), func(i int) {
+		pb := Fig09PageSizes[i]
+		fac, wkey := pageMineSized(pb)
+		runs := core.SweepKeyed(o.Cfg, wkey, fac, o.threads())
 		times := make([]uint64, len(runs))
-		for i, r := range runs {
-			times[i] = r.TotalCycles
+		for j, r := range runs {
+			times[j] = r.TotalCycles
 		}
 		best := o.threads()[fewestIdx(times)]
-		sat := core.RunPolicy(o.Cfg, fac, core.SAT{})
-		f.PageBytes = append(f.PageBytes, pb)
-		f.BestThreads = append(f.BestThreads, best)
-		f.SATThreads = append(f.SATThreads, chosenThreads(sat))
-	}
+		sat := core.RunPolicyKeyed(o.Cfg, wkey, fac, core.SAT{})
+		f.PageBytes[i] = pb
+		f.BestThreads[i] = best
+		f.SATThreads[i] = chosenThreads(sat)
+	})
 	return f
+}
+
+// pageMineSized builds a PageMine factory with a non-default page size
+// plus the cache key naming that parameterization.
+func pageMineSized(pageBytes int) (core.Factory, string) {
+	params := workloads.DefaultPageMineParams()
+	params.PageBytes = pageBytes
+	fac := func(m *machine.Machine) core.Workload { return workloads.NewPageMine(m, params) }
+	return fac, fmt.Sprintf("pagemine/pb=%d", pageBytes)
 }
 
 // fewestIdx picks the fewest threads within 1% of the minimum — the
@@ -120,14 +136,13 @@ type Fig10 struct {
 	SATLarge     PolicyPoint
 }
 
-// RunFig10 executes the experiment.
+// RunFig10 executes the experiment. Both page sizes also appear in
+// Fig 9's sweep, so with a warm cache this figure simulates nothing.
 func RunFig10(o Options) Fig10 {
 	run := func(pageBytes int) (Curve, PolicyPoint) {
-		params := workloads.DefaultPageMineParams()
-		params.PageBytes = pageBytes
-		fac := func(m *machine.Machine) core.Workload { return workloads.NewPageMine(m, params) }
+		fac, wkey := pageMineSized(pageBytes)
 		ts := o.threads()
-		runs := core.Sweep(o.Cfg, fac, ts)
+		runs := core.SweepKeyed(o.Cfg, wkey, fac, ts)
 		c := Curve{Workload: fmt.Sprintf("pagemine-%dB", pageBytes)}
 		base := runs[0].TotalCycles
 		times := make([]uint64, len(runs))
@@ -143,7 +158,7 @@ func RunFig10(o Options) Fig10 {
 		}
 		idx := fewestIdx(times)
 		c.MinThreads, c.MinCycles = ts[idx], times[idx]
-		sat := core.RunPolicy(o.Cfg, fac, core.SAT{})
+		sat := core.RunPolicyKeyed(o.Cfg, wkey, fac, core.SAT{})
 		pp := PolicyPoint{
 			Policy:   "SAT",
 			Run:      sat,
@@ -159,8 +174,14 @@ func RunFig10(o Options) Fig10 {
 		return c, pp
 	}
 	var f Fig10
-	f.Small, f.SATSmall = run(2560)
-	f.Large, f.SATLarge = run(10 << 10)
+	sizes := []int{2560, 10 << 10}
+	curves := make([]Curve, len(sizes))
+	points := make([]PolicyPoint, len(sizes))
+	runner.Map(len(sizes), func(i int) {
+		curves[i], points[i] = run(sizes[i])
+	})
+	f.Small, f.SATSmall = curves[0], points[0]
+	f.Large, f.SATLarge = curves[1], points[1]
 	return f
 }
 

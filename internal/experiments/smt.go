@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fdt/internal/core"
+	"fdt/internal/runner"
 )
 
 // SMTRow compares one workload under FDT on the paper's machine and
@@ -31,14 +32,21 @@ type SMT struct {
 	Rows []SMTRow
 }
 
-// RunSMT executes the experiment over one workload per class.
+// RunSMT executes the experiment over one workload per class. The
+// no-SMT baselines are the memoized Fig 14 runs; only the 2-way-SMT
+// machine simulates fresh.
 func RunSMT(o Options) SMT {
 	var s SMT
 	smtCfg := o.Cfg.WithSMT(2)
-	for _, name := range []string{"pagemine", "ed", "bscholes"} {
-		base := core.RunPolicy(o.Cfg, factory(name), core.Combined{})
-		smt := core.RunPolicy(smtCfg, factory(name), core.Combined{})
-		s.Rows = append(s.Rows, SMTRow{
+	smtOpts := o
+	smtOpts.Cfg = smtCfg
+	names := []string{"pagemine", "ed", "bscholes"}
+	s.Rows = make([]SMTRow, len(names))
+	runner.Map(len(names), func(i int) {
+		name := names[i]
+		base := runNamed(o, name, core.Combined{})
+		smt := runNamed(smtOpts, name, core.Combined{})
+		s.Rows[i] = SMTRow{
 			Workload:      name,
 			BaseThreads:   base.AvgThreads(),
 			SMTThreads:    smt.AvgThreads(),
@@ -48,8 +56,8 @@ func RunSMT(o Options) SMT {
 			SMTPower:      smt.AvgActiveCores,
 			BaseContexts:  o.Cfg.Mem.Cores * o.Cfg.SMTContexts,
 			SMTContextCap: smtCfg.Mem.Cores * smtCfg.SMTContexts,
-		})
-	}
+		}
+	})
 	return s
 }
 

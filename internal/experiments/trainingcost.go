@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fdt/internal/core"
+	"fdt/internal/runner"
 )
 
 // TrainingCostRow quantifies FDT's runtime overhead for one workload:
@@ -30,13 +31,17 @@ type TrainingCost struct {
 	Rows []TrainingCostRow
 }
 
-// RunTrainingCost executes the experiment.
+// RunTrainingCost executes the experiment. The SAT+BAT runs are the
+// same memoized executions Fig 14/15 use, so with a warm cache this
+// table costs nothing.
 func RunTrainingCost(o Options) TrainingCost {
 	var t TrainingCost
-	for _, name := range AllWorkloads {
-		r := core.RunPolicy(o.Cfg, factory(name), core.Combined{})
+	rows := make([][]TrainingCostRow, len(AllWorkloads))
+	runner.Map(len(AllWorkloads), func(i int) {
+		name := AllWorkloads[i]
+		r := runNamed(o, name, core.Combined{})
 		for _, k := range r.Kernels {
-			t.Rows = append(t.Rows, TrainingCostRow{
+			rows[i] = append(rows[i], TrainingCostRow{
 				Workload:   name,
 				Kernel:     k.Kernel,
 				TrainIters: k.TrainIters,
@@ -44,6 +49,9 @@ func RunTrainingCost(o Options) TrainingCost {
 				Threads:    k.Decision.Threads,
 			})
 		}
+	})
+	for _, rs := range rows {
+		t.Rows = append(t.Rows, rs...)
 	}
 	return t
 }

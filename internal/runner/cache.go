@@ -1,0 +1,79 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes deterministic computations by content key, with
+// single-flight semantics: when several workers ask for the same key
+// concurrently, exactly one computes and the rest block on the result.
+// Values must be treated as immutable by all callers — the same value
+// is handed to every hit.
+//
+// The zero value is ready to use.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry[V]
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+}
+
+// Do returns the cached value for key, computing it with fn on the
+// first request. Concurrent requests for an in-flight key wait for
+// the single computation and count as hits.
+func (c *Cache[V]) Do(key string, fn func() V) V {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		if c.entries == nil {
+			c.entries = make(map[string]*cacheEntry[V])
+		}
+		e = new(cacheEntry[V])
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() { e.val = fn() })
+	return e.val
+}
+
+// Stats reports cache hits and misses since construction or the last
+// Reset.
+func (c *Cache[V]) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// HitRate reports hits / (hits + misses), or 0 before any lookup.
+func (c *Cache[V]) HitRate() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len reports the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every entry and zeroes the statistics.
+func (c *Cache[V]) Reset() {
+	c.mu.Lock()
+	c.entries = nil
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

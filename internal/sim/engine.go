@@ -11,22 +11,42 @@
 // The kernel knows nothing about CPUs, caches or buses; those live in
 // higher layers (internal/mem, internal/cpu) and are expressed purely
 // in terms of WaitUntil/Park/Wake.
+//
+// One Engine simulates one execution on one host goroutine chain; it
+// is not safe for concurrent use. Host-level parallelism belongs one
+// layer up (internal/runner), across independent engines.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
 
+// initialHeapCap pre-sizes the future-event heap so steady-state
+// simulations (a few hundred live processes in the full machine
+// model) never grow it.
+const initialHeapCap = 1024
+
 // Engine owns the simulated clock and the pending-event queue.
 // The zero value is not usable; call NewEngine.
 type Engine struct {
-	now    uint64
-	seq    uint64
+	now uint64
+	seq uint64
+	// events holds future events only (t > now) ordered by (t, seq);
+	// events at the current cycle live in the cur FIFO. Keeping the
+	// same-cycle events out of the heap gives the dominant
+	// schedule-at-now case (Yield, Wake, resource handoff) an O(1)
+	// fast path instead of an O(log n) sift.
 	events eventHeap
-	live   map[*Proc]struct{}
-	fault  *procFault
+	// cur is the FIFO of processes runnable at the current cycle;
+	// curHead indexes the next one to dispatch.
+	cur     []*Proc
+	curHead int
+	// dispatched counts events delivered to processes over the
+	// engine's lifetime — the "simulator throughput" numerator.
+	dispatched uint64
+	live       map[*Proc]struct{}
+	fault      *procFault
 	// stepHook, when non-nil, is invoked before each event dispatch.
 	// Used by tests to observe scheduling order.
 	stepHook func(t uint64, p *Proc)
@@ -42,7 +62,11 @@ type procFault struct {
 // NewEngine returns an engine with the clock at cycle 0 and no
 // processes.
 func NewEngine() *Engine {
-	return &Engine{live: make(map[*Proc]struct{})}
+	return &Engine{
+		events: make(eventHeap, 0, initialHeapCap),
+		cur:    make([]*Proc, 0, 64),
+		live:   make(map[*Proc]struct{}),
+	}
 }
 
 // Now reports the current simulated cycle. It is only meaningful while
@@ -53,27 +77,119 @@ func (e *Engine) Now() uint64 { return e.now }
 // not yet finished.
 func (e *Engine) Live() int { return len(e.live) }
 
+// Events reports the number of events the engine has dispatched so
+// far — the basis for events/second throughput metrics.
+func (e *Engine) Events() uint64 { return e.dispatched }
+
 type event struct {
 	t   uint64
 	seq uint64
 	p   *Proc
 }
 
+// eventHeap is a binary min-heap ordered by (t, seq). The sift
+// routines are hand-rolled rather than going through container/heap:
+// the interface-based API boxes every pushed event into an `any`,
+// which costs an allocation per scheduled event on the hottest path
+// of the whole simulator.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && h.less(r, l) {
+			least = r
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	ev := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // release the Proc pointer
+	*h = old[:n]
+	if n > 0 {
+		old[:n].down(0)
+	}
+	return ev
+}
+
+// schedule queues p to run at cycle t. Events at the current cycle
+// take the FIFO fast path; only genuinely future events pay for heap
+// maintenance. Spawn-before-Run schedules (now == 0, nothing
+// dispatched yet) also take the FIFO path, preserving spawn order.
 func (e *Engine) schedule(t uint64, p *Proc) {
+	if t == e.now {
+		e.cur = append(e.cur, p)
+		return
+	}
 	e.seq++
-	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+	e.events.push(event{t: t, seq: e.seq, p: p})
+}
+
+// next pops the earliest pending process, advancing the clock when the
+// current cycle drains. It returns nil when no events remain.
+func (e *Engine) next() *Proc {
+	for {
+		if e.curHead < len(e.cur) {
+			p := e.cur[e.curHead]
+			e.cur[e.curHead] = nil // release for GC
+			e.curHead++
+			return p
+		}
+		if len(e.events) == 0 {
+			return nil
+		}
+		// The current cycle is exhausted: advance to the earliest
+		// future time and move every event at that time into the FIFO
+		// (heap pops yield them in seq order, preserving the global
+		// (t, seq) dispatch order of the original design).
+		e.cur = e.cur[:0]
+		e.curHead = 0
+		t := e.events[0].t
+		if t < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = t
+		for len(e.events) > 0 && e.events[0].t == t {
+			e.cur = append(e.cur, e.events.pop().p)
+		}
+	}
 }
 
 // Proc is a simulated process: a goroutine that cooperates with the
@@ -81,15 +197,17 @@ func (e *Engine) schedule(t uint64, p *Proc) {
 // must be called from the process's own body function, except Wake,
 // which is called by whichever process is currently running.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	yield  chan struct{}
+	eng  *Engine
+	name string
+	// baton is the single rendezvous channel between the engine and
+	// the process. Exactly one side holds the baton at a time and the
+	// two strictly alternate — engine sends to resume the process,
+	// process sends to yield back — so one unbuffered channel replaces
+	// the previous resume/yield pair and halves the channel operations
+	// per handoff.
+	baton  chan struct{}
 	parked bool
 	done   bool
-	// waking guards against double-wake while an event is already
-	// queued for this process.
-	waking bool
 }
 
 // Name reports the diagnostic name the process was spawned with.
@@ -104,14 +222,13 @@ func (p *Proc) Now() uint64 { return p.eng.now }
 // state without host-level locking.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		eng:   e,
+		name:  name,
+		baton: make(chan struct{}),
 	}
 	e.live[p] = struct{}{}
 	go func() {
-		<-p.resume
+		<-p.baton
 		defer func() {
 			if r := recover(); r != nil {
 				// Surface model-code panics from the engine's Run so
@@ -121,12 +238,19 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 			}
 			p.done = true
 			delete(e.live, p)
-			p.yield <- struct{}{}
+			p.baton <- struct{}{}
 		}()
 		body(p)
 	}()
 	e.schedule(e.now, p)
 	return p
+}
+
+// yield hands the baton back to the engine and blocks until the
+// engine resumes this process.
+func (p *Proc) yield() {
+	p.baton <- struct{}{}
+	<-p.baton
 }
 
 // WaitUntil blocks the process until the simulated clock reaches t.
@@ -138,8 +262,7 @@ func (p *Proc) WaitUntil(t uint64) {
 		t = p.eng.now
 	}
 	p.eng.schedule(t, p)
-	p.yield <- struct{}{}
-	<-p.resume
+	p.yield()
 }
 
 // Advance blocks the process for d cycles.
@@ -155,8 +278,7 @@ func (p *Proc) Yield() { p.WaitUntil(p.eng.now) }
 // Run panics with a diagnostic.
 func (p *Proc) Park() {
 	p.parked = true
-	p.yield <- struct{}{}
-	<-p.resume
+	p.yield()
 }
 
 // Wake schedules a parked process q to resume at the current simulated
@@ -179,20 +301,20 @@ func (e *Engine) wake(q *Proc) {
 // remain parked with an empty event queue (model deadlock), naming the
 // stuck processes.
 func (e *Engine) Run() {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
-		if ev.t < e.now {
-			panic("sim: event queue went backwards")
+	for {
+		p := e.next()
+		if p == nil {
+			break
 		}
-		e.now = ev.t
-		if ev.p.done {
+		if p.done {
 			continue
 		}
+		e.dispatched++
 		if e.stepHook != nil {
-			e.stepHook(ev.t, ev.p)
+			e.stepHook(e.now, p)
 		}
-		ev.p.resume <- struct{}{}
-		<-ev.p.yield
+		p.baton <- struct{}{}
+		<-p.baton
 		if e.fault != nil {
 			f := e.fault
 			e.fault = nil
