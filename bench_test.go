@@ -190,3 +190,22 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
+
+// BenchmarkAdaptivePhaseShift times the phase-adaptive pipeline on the
+// phased workload and reports its wins over train-once FDT — the
+// tentpole ablation's headline numbers.
+func BenchmarkAdaptivePhaseShift(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	info, _ := workloads.ByName("phaseshift")
+	var ad, once core.RunResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.MustNew(cfg)
+		ad = core.NewAdaptiveController(core.Combined{}, core.DefaultMonitorParams()).Run(m, info.Factory(m))
+		m2 := machine.MustNew(cfg)
+		once = core.NewController(core.Combined{}).Run(m2, info.Factory(m2))
+	}
+	b.ReportMetric(float64(ad.Kernels[0].Retrains), "retrains")
+	b.ReportMetric(float64(once.TotalCycles)/float64(ad.TotalCycles), "speedup-vs-train-once")
+	b.ReportMetric(once.AvgActiveCores/ad.AvgActiveCores, "power-ratio-vs-train-once")
+}

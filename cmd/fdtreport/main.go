@@ -1,6 +1,7 @@
 // Command fdtreport regenerates the paper's evaluation — every table
 // and figure — on the simulated machine and prints text renditions.
-// With -csv it also writes each figure's series as CSV for plotting.
+// With -csv it also writes each figure's series as CSV for plotting,
+// and with -json each experiment's data as machine-readable JSON.
 //
 // Usage:
 //
@@ -8,6 +9,7 @@
 //	fdtreport -only fig14     # one experiment
 //	fdtreport -fast           # coarser sweeps for a quick look
 //	fdtreport -csv out/       # also write out/fig2.csv, out/fig14.csv, ...
+//	fdtreport -json out/      # also write out/fig2.json, out/fig14.json, ...
 //	fdtreport -parallel 1     # legacy serial execution (0 = GOMAXPROCS)
 //
 // Independent simulations fan out over a host worker pool and are
@@ -17,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +37,7 @@ func main() {
 		only     = flag.String("only", "", "run a single experiment: table1, table2, fig2, fig4, fig8, fig9, fig10, fig12, fig13, fig14, fig15, smt, trainingcost, ablations")
 		fast     = flag.Bool("fast", false, "sweep a reduced set of thread counts")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
+		jsonDir  = flag.String("json", "", "directory to write per-experiment JSON files into")
 		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
@@ -44,41 +48,48 @@ func main() {
 		o.SweepThreads = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32}
 	}
 
+	// Each runner returns the text rendition, the CSV series, and the
+	// experiment's data value for JSON emission (nil for text-only
+	// tables).
 	runners := []struct {
 		name string
-		run  func() (text, csv string)
+		run  func() (text, csv string, data any)
 	}{
-		{"table1", func() (string, string) { return experiments.Table1(o.Cfg), "" }},
-		{"table2", func() (string, string) { return experiments.Table2(), "" }},
-		{"fig2", func() (string, string) { f := experiments.RunFig02(o); return f.String(), f.CSV() }},
-		{"fig4", func() (string, string) { f := experiments.RunFig04(o); return f.String(), f.CSV() }},
-		{"fig8", func() (string, string) { f := experiments.RunFig08(o); return f.String(), f.CSV() }},
-		{"fig9", func() (string, string) { f := experiments.RunFig09(o); return f.String(), f.CSV() }},
-		{"fig10", func() (string, string) { f := experiments.RunFig10(o); return f.String(), f.CSV() }},
-		{"fig12", func() (string, string) { f := experiments.RunFig12(o); return f.String(), f.CSV() }},
-		{"fig13", func() (string, string) { f := experiments.RunFig13(o); return f.String(), f.CSV() }},
-		{"fig14", func() (string, string) { f := experiments.RunFig14(o); return f.String(), f.CSV() }},
-		{"fig15", func() (string, string) { f := experiments.RunFig15(o); return f.String(), f.CSV() }},
-		{"smt", func() (string, string) {
+		{"table1", func() (string, string, any) { return experiments.Table1(o.Cfg), "", nil }},
+		{"table2", func() (string, string, any) { return experiments.Table2(), "", nil }},
+		{"fig2", func() (string, string, any) { f := experiments.RunFig02(o); return f.String(), f.CSV(), f }},
+		{"fig4", func() (string, string, any) { f := experiments.RunFig04(o); return f.String(), f.CSV(), f }},
+		{"fig8", func() (string, string, any) { f := experiments.RunFig08(o); return f.String(), f.CSV(), f }},
+		{"fig9", func() (string, string, any) { f := experiments.RunFig09(o); return f.String(), f.CSV(), f }},
+		{"fig10", func() (string, string, any) { f := experiments.RunFig10(o); return f.String(), f.CSV(), f }},
+		{"fig12", func() (string, string, any) { f := experiments.RunFig12(o); return f.String(), f.CSV(), f }},
+		{"fig13", func() (string, string, any) { f := experiments.RunFig13(o); return f.String(), f.CSV(), f }},
+		{"fig14", func() (string, string, any) { f := experiments.RunFig14(o); return f.String(), f.CSV(), f }},
+		{"fig15", func() (string, string, any) { f := experiments.RunFig15(o); return f.String(), f.CSV(), f }},
+		{"smt", func() (string, string, any) {
 			s := experiments.RunSMT(o)
-			return s.String(), s.CSV()
+			return s.String(), s.CSV(), s
 		}},
-		{"trainingcost", func() (string, string) {
+		{"trainingcost", func() (string, string, any) {
 			t := experiments.RunTrainingCost(o)
-			return t.String(), t.CSV()
+			return t.String(), t.CSV(), t
 		}},
-		{"ablations", func() (string, string) {
+		{"ablations", func() (string, string, any) {
+			as := experiments.RunAblations(o)
 			var texts, csvs []string
-			for _, a := range experiments.RunAblations(o) {
+			for _, a := range as {
 				texts = append(texts, a.String())
 				csvs = append(csvs, a.CSV())
 			}
-			return strings.Join(texts, "\n"), strings.Join(csvs, "")
+			return strings.Join(texts, "\n"), strings.Join(csvs, ""), as
 		}},
 	}
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+	for _, dir := range []string{*csvDir, *jsonDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "fdtreport:", err)
 			os.Exit(1)
 		}
@@ -92,12 +103,22 @@ func main() {
 		}
 		found = true
 		start := time.Now()
-		text, csv := r.run()
+		text, csv, data := r.run()
 		fmt.Println(text)
 		fmt.Printf("  [%s took %.1fs]\n\n", r.name, time.Since(start).Seconds())
 		if *csvDir != "" && csv != "" {
 			path := filepath.Join(*csvDir, r.name+".csv")
 			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "fdtreport:", err)
+				os.Exit(1)
+			}
+		}
+		if *jsonDir != "" && data != nil {
+			blob, err := json.MarshalIndent(data, "", "  ")
+			if err == nil {
+				err = os.WriteFile(filepath.Join(*jsonDir, r.name+".json"), append(blob, '\n'), 0o644)
+			}
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "fdtreport:", err)
 				os.Exit(1)
 			}
@@ -113,6 +134,7 @@ func main() {
 	if hits+misses > 0 {
 		rate = 100 * float64(hits) / float64(hits+misses)
 	}
-	fmt.Printf("[%d workers; run cache: %d hits / %d misses (%.1f%% hit rate)]\n",
-		runner.Workers(), hits, misses, rate)
+	entries, bytes, _ := core.RunCacheUsage()
+	fmt.Printf("[%d workers; run cache: %d hits / %d misses (%.1f%% hit rate), %d entries ~%.1f KiB]\n",
+		runner.Workers(), hits, misses, rate, entries, float64(bytes)/1024)
 }

@@ -9,12 +9,14 @@
 //	fdtsweep -workload pagemine -threads 1,2,4,8,16,32
 //	fdtsweep -workload convert -bandwidth 2
 //	fdtsweep -workload ed -parallel 1   # legacy serial (0 = GOMAXPROCS)
+//	fdtsweep -workload ed -json sweep.json   # machine-readable output ("-" = stdout)
 //
 // Sweep points are independent simulations; they fan out over a host
 // worker pool and land in the process-wide run cache.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +38,7 @@ func main() {
 		bandwidth = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
 		policies  = flag.String("policies", "sat,bat,sat+bat", "feedback policies to place on the curve")
 		parallel  = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		jsonPath  = flag.String("json", "", "write the sweep and policy runs as JSON to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 	runner.SetWorkers(*parallel)
@@ -71,6 +74,15 @@ func main() {
 	bestIdx, bestCycles := stats.ArgMinUint(times)
 	fmt.Printf("# minimum at %d threads (%d cycles)\n", counts[bestIdx], bestCycles)
 
+	out := sweepJSON{
+		Workload:   info.Name,
+		Cores:      *cores,
+		Bandwidth:  *bandwidth,
+		Threads:    counts,
+		Sweep:      sweep,
+		MinThreads: counts[bestIdx],
+	}
+
 	for _, pname := range strings.Split(*policies, ",") {
 		pname = strings.TrimSpace(pname)
 		if pname == "" {
@@ -82,6 +94,7 @@ func main() {
 			os.Exit(2)
 		}
 		r := core.RunPolicyKeyed(cfg, info.Name, factory, pol)
+		out.Policies = append(out.Policies, r)
 		fmt.Printf("# %-8s -> ", r.Policy)
 		for _, k := range r.Kernels {
 			fmt.Printf("[%s threads=%d pcs=%d pbw=%d csfrac=%.2f%% bu1=%.2f%%] ",
@@ -92,6 +105,13 @@ func main() {
 			float64(r.TotalCycles)/float64(base), r.AvgActiveCores)
 	}
 
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, out); err != nil {
+			fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+			os.Exit(1)
+		}
+	}
+
 	hits, misses := core.RunCacheStats()
 	rate := 0.0
 	if hits+misses > 0 {
@@ -99,6 +119,31 @@ func main() {
 	}
 	fmt.Printf("# [%d workers; run cache: %d hits / %d misses (%.1f%% hit rate)]\n",
 		runner.Workers(), hits, misses, rate)
+}
+
+// sweepJSON is fdtsweep's machine-readable output: the full RunResult
+// of every sweep point and policy run.
+type sweepJSON struct {
+	Workload   string           `json:"workload"`
+	Cores      int              `json:"cores"`
+	Bandwidth  float64          `json:"bandwidth"`
+	Threads    []int            `json:"threads"`
+	Sweep      []core.RunResult `json:"sweep"`
+	MinThreads int              `json:"min_threads"`
+	Policies   []core.RunResult `json:"policies,omitempty"`
+}
+
+func writeJSON(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
 }
 
 func parseThreads(s string, cores int) ([]int, error) {

@@ -42,6 +42,26 @@ func DefaultTrainingParams() TrainingParams {
 	}
 }
 
+// PhaseDecision records one phase of an adaptively-executed kernel:
+// the decision that governed it, the training that produced the
+// decision, and what ended the previous phase.
+type PhaseDecision struct {
+	// StartIter is the first iteration of the phase (its training
+	// iterations included).
+	StartIter int
+	// Decision is the thread count (and model estimates) the phase
+	// executed with.
+	Decision Decision
+	// TrainIters and TrainCycles are this phase's re-training cost.
+	TrainIters  int
+	TrainCycles uint64
+	// Cycles is the phase's total time, training included.
+	Cycles uint64
+	// Trigger names the drift signal that caused this phase's
+	// re-training ("cs" or "bus"); empty for the kernel's first phase.
+	Trigger string
+}
+
 // KernelResult records how one kernel executed under a policy.
 type KernelResult struct {
 	Kernel      string
@@ -50,6 +70,14 @@ type KernelResult struct {
 	TrainCycles uint64
 	// Cycles is the kernel's total execution time including training.
 	Cycles uint64
+	// Phases holds the per-phase decisions of a monitored (adaptive)
+	// execution, in order; nil for train-once runs. Decision above is
+	// the first phase's decision, TrainIters/TrainCycles the totals
+	// across phases.
+	Phases []PhaseDecision
+	// Retrains counts the Monitor-triggered re-trainings (always
+	// len(Phases)-1 when Phases is set).
+	Retrains int
 }
 
 // RunResult records a complete workload execution on one machine.
@@ -67,10 +95,18 @@ type RunResult struct {
 
 // AvgThreads reports the cycle-weighted average team size across
 // kernels — the quantity behind MTwister's "average number of threads
-// reduces to 21" observation (Section 5.3).
+// reduces to 21" observation (Section 5.3). Adaptive kernels weight
+// each phase by its own cycles.
 func (r RunResult) AvgThreads() float64 {
 	var wsum, cyc uint64
 	for _, k := range r.Kernels {
+		if len(k.Phases) > 0 {
+			for _, p := range k.Phases {
+				wsum += uint64(p.Decision.Threads) * p.Cycles
+				cyc += p.Cycles
+			}
+			continue
+		}
 		wsum += uint64(k.Decision.Threads) * k.Cycles
 		cyc += k.Cycles
 	}
@@ -81,17 +117,33 @@ func (r RunResult) AvgThreads() float64 {
 }
 
 // Controller runs workloads under a threading policy using the FDT
-// framework of Fig 5: train on a sampled prefix, estimate, execute
-// the remainder with the chosen team size.
+// pipeline: Sample (peeled-iteration instrumentation) -> Estimate
+// (the policy's model) -> Execute (chunked team execution) ->
+// Monitor (per-interval counter deltas during execution). With
+// Monitor nil the pipeline degenerates to Fig 5's train-once flow —
+// the seed controller, bit-identical.
 type Controller struct {
 	Policy Policy
 	Params TrainingParams
+	// Monitor enables phase-adaptive re-training: execution proceeds
+	// in Interval-sized chunks and drifting counter deltas send the
+	// pipeline back to the Sample stage. nil (the default) reproduces
+	// the paper's train-once controller exactly.
+	Monitor *MonitorParams
 }
 
-// NewController builds a controller with the paper's training
-// parameters.
+// NewController builds a train-once controller with the paper's
+// training parameters.
 func NewController(p Policy) *Controller {
 	return &Controller{Policy: p, Params: DefaultTrainingParams()}
+}
+
+// NewAdaptiveController builds a controller with phase-adaptive
+// monitoring enabled.
+func NewAdaptiveController(p Policy, mp MonitorParams) *Controller {
+	c := NewController(p)
+	c.Monitor = &mp
+	return c
 }
 
 // Run executes the workload on the machine under the controller's
@@ -113,10 +165,10 @@ func (ctl *Controller) Run(m *machine.Machine, w Workload) RunResult {
 	return res
 }
 
-// runKernel implements Fig 7's three stages for one kernel: training
-// (peeled iterations, single-threaded, instrumented), estimation
-// (the policy's model), and execution (remaining iterations on the
-// chosen team).
+// runKernel drives one kernel through the pipeline. Policies that do
+// not train (and kernels too small to peel) take the static path;
+// training policies sample, estimate and execute — once when
+// monitoring is off, per phase when it is on.
 func (ctl *Controller) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 	m := c.Machine()
 	cores := m.Contexts()
@@ -125,9 +177,7 @@ func (ctl *Controller) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 
 	if !ctl.Policy.NeedsTraining() || n < ctl.Params.MinIterations {
 		d := Decision{Threads: ctl.Policy.StaticThreads(cores)}
-		if n > 0 {
-			k.RunChunk(c, d.Threads, 0, n)
-		}
+		Executor{}.Execute(c, k, d.Threads, 0, n)
 		return KernelResult{
 			Kernel:   k.Name(),
 			Decision: d,
@@ -135,138 +185,85 @@ func (ctl *Controller) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 		}
 	}
 
-	// Train up to 1% of the iterations (paper, Section 4.2.1), but at
-	// least two when the kernel has them: the first iteration runs
-	// against cold caches and serves as warmup (see below).
-	maxTrain := int(float64(n) * ctl.Params.MaxTrainFraction)
-	if maxTrain < 2 {
-		maxTrain = 2
+	if ctl.Monitor == nil {
+		return ctl.runTrainOnce(c, k, n, cores, start)
 	}
-	if maxTrain > n {
-		maxTrain = n
-	}
+	return ctl.runAdaptive(c, k, n, cores, start)
+}
 
-	csCtr := m.Ctrs.Counter(thread.CtrCSCycles)
-	busCtr := m.Ctrs.Counter(counters.BusBusyCycles)
-
-	var tr TrainResult
-	var ratios []float64
-	type iterSample struct{ dt, dcs, db uint64 }
-	var samples []iterSample
-	satDone := !ctl.Policy.WantsSAT()
-	batDone := !ctl.Policy.WantsBAT()
-
-	iter := 0
-	for iter < maxTrain && !(satDone && batDone) {
-		t0 := c.CPU.CycleCount()
-		cs0 := csCtr.Sample()
-		b0 := busCtr.Sample()
-		k.RunChunk(c, 1, iter, iter+1)
-		iter++
-		dt := c.CPU.CycleCount() - t0
-		dcs := csCtr.DeltaSince(cs0)
-		db := busCtr.DeltaSince(b0)
-		tr.TotalCycles += dt
-		tr.CSCycles += dcs
-		tr.BusBusyCycles += db
-		samples = append(samples, iterSample{dt, dcs, db})
-
-		if !satDone {
-			ratios = append(ratios, csRatio(dt, dcs))
-			if stableWindow(ratios, ctl.Params.StabilityWindow, ctl.Params.StabilityTol) {
-				satDone = true
-				tr.SATStable = true
-			}
-		}
-		if !batDone && tr.TotalCycles >= ctl.Params.BATEarlyOutCycles && len(samples) >= 2 {
-			// Judge bandwidth on warm iterations only (drop the cold
-			// first sample): a kernel whose steady state cannot
-			// saturate the bus even with every core running will
-			// never be bandwidth-limited, and training may stop.
-			var wt, wb uint64
-			for _, s := range samples[1:] {
-				wt += s.dt
-				wb += s.db
-			}
-			if wt > 0 && float64(wb)/float64(wt)*float64(cores) < 1 {
-				batDone = true
-				tr.BWExcluded = true
-			}
-		}
-	}
-	tr.Iters = iter
-
-	// Estimate from the steady state. The first training iteration
-	// runs against cold caches, so its T_CS/T_NoCS ratio and bus
-	// utilization misrepresent the kernel's stable behaviour; on the
-	// paper's full-size inputs thousands of training iterations
-	// dilute this, but on scaled inputs it must be excluded
-	// explicitly (DESIGN.md, "Known deviations"). When the stability
-	// window is available beyond that, keep only the trailing window
-	// — the measurements the stability criterion actually accepted.
-	if len(samples) > 1 {
-		est := samples[1:]
-		if w := ctl.Params.StabilityWindow; w > 0 && len(est) > w {
-			est = est[len(est)-w:]
-		}
-		var wt, wcs, wb uint64
-		for _, s := range est {
-			wt += s.dt
-			wcs += s.dcs
-			wb += s.db
-		}
-		if wt > 0 {
-			tr.TotalCycles, tr.CSCycles, tr.BusBusyCycles = wt, wcs, wb
-		}
-	}
-
-	d := ctl.Policy.Estimate(tr, cores)
+// runTrainOnce is Fig 7's three-stage flow: train on a peeled prefix,
+// estimate once, execute the remainder as a single chunk.
+func (ctl *Controller) runTrainOnce(c *thread.Ctx, k Kernel, n, cores int, start uint64) KernelResult {
+	out := Sampler{Params: ctl.Params}.Sample(c, k, ctl.Policy, 0, n)
+	d, _ := Estimator{Params: ctl.Params}.Estimate(ctl.Policy, out, cores)
 	trainCycles := c.CPU.CycleCount() - start
-	if iter < n {
-		k.RunChunk(c, d.Threads, iter, n)
-	}
+	Executor{}.Execute(c, k, d.Threads, out.Next, n)
 	return KernelResult{
 		Kernel:      k.Name(),
 		Decision:    d,
-		TrainIters:  iter,
+		TrainIters:  out.Train.Iters,
 		TrainCycles: trainCycles,
 		Cycles:      c.CPU.CycleCount() - start,
 	}
 }
 
-// csRatio computes one iteration's T_CS / T_NoCS.
-func csRatio(total, cs uint64) float64 {
-	if cs >= total {
-		return 1
-	}
-	noCS := total - cs
-	if noCS == 0 {
-		return 0
-	}
-	return float64(cs) / float64(noCS)
-}
+// runAdaptive is the phase-adaptive flow: the pipeline loops
+// Sample -> Estimate -> Execute-with-Monitor until the kernel's
+// iterations are exhausted, re-entering the Sample stage at every
+// detected phase change (up to MaxRetrains). Tails too short to
+// re-train on, and the remainder after the retrain budget is spent,
+// execute unmonitored with the current decision.
+func (ctl *Controller) runAdaptive(c *thread.Ctx, k Kernel, n, cores int, start uint64) KernelResult {
+	mp := *ctl.Monitor
+	sampler := Sampler{Params: ctl.Params}
+	estimator := Estimator{Params: ctl.Params}
 
-// stableWindow reports whether the last w ratios agree within tol:
-// the relative spread (max-min over mean) is at most tol. An all-zero
-// window (no critical section observed) counts as stable.
-func stableWindow(ratios []float64, w int, tol float64) bool {
-	if w < 2 || len(ratios) < w {
-		return false
-	}
-	win := ratios[len(ratios)-w:]
-	lo, hi, sum := win[0], win[0], 0.0
-	for _, r := range win {
-		if r < lo {
-			lo = r
+	kr := KernelResult{Kernel: k.Name()}
+	iter := 0
+	trigger := ""
+	for iter < n {
+		phaseStart := c.CPU.CycleCount()
+		out := sampler.Sample(c, k, ctl.Policy, iter, n)
+		d, _ := estimator.Estimate(ctl.Policy, out, cores)
+		trainCycles := c.CPU.CycleCount() - phaseStart
+
+		var stop int
+		var dr *Drift
+		if kr.Retrains >= mp.MaxRetrains {
+			Executor{}.Execute(c, k, d.Threads, out.Next, n)
+			stop = n
+		} else {
+			mo := NewMonitor(mp, estimator.Steady(out))
+			stop, dr = Executor{}.ExecuteMonitored(c, k, d.Threads, out.Next, n, mo)
 		}
-		if r > hi {
-			hi = r
+
+		kr.TrainIters += out.Train.Iters
+		kr.TrainCycles += trainCycles
+		kr.Phases = append(kr.Phases, PhaseDecision{
+			StartIter:   iter,
+			Decision:    d,
+			TrainIters:  out.Train.Iters,
+			TrainCycles: trainCycles,
+			Cycles:      c.CPU.CycleCount() - phaseStart,
+			Trigger:     trigger,
+		})
+		iter = stop
+		if dr == nil {
+			break
 		}
-		sum += r
+		if n-iter < ctl.Params.MinIterations {
+			// Tail too short to re-train on: finish with the current
+			// decision and account it to the last phase.
+			tailStart := c.CPU.CycleCount()
+			Executor{}.Execute(c, k, d.Threads, iter, n)
+			kr.Phases[len(kr.Phases)-1].Cycles += c.CPU.CycleCount() - tailStart
+			iter = n
+			break
+		}
+		trigger = dr.Signal
+		kr.Retrains++
 	}
-	if hi == 0 {
-		return true // no critical section anywhere in the window
-	}
-	mean := sum / float64(w)
-	return (hi-lo)/mean <= tol
+	kr.Decision = kr.Phases[0].Decision
+	kr.Cycles = c.CPU.CycleCount() - start
+	return kr
 }

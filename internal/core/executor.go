@@ -1,0 +1,54 @@
+package core
+
+import "fdt/internal/thread"
+
+// This file implements the Execute stage of the FDT pipeline: run the
+// kernel's remaining iterations on the decided team. The train-once
+// path executes the whole remainder as one chunk — exactly the seed
+// controller's behaviour. The monitored path executes interval-sized
+// chunks so the Monitor can read counter deltas (and the controller
+// can change the team) at the chunk boundaries, where every worker
+// has joined and the master is at a safe re-decision point.
+
+// Executor runs execution chunks on behalf of the controller.
+type Executor struct{}
+
+// Execute runs iterations [lo, hi) at the decided team size in a
+// single chunk.
+func (Executor) Execute(c *thread.Ctx, k Kernel, threads, lo, hi int) {
+	if !c.AtDecisionPoint() {
+		panic("core: Execute outside a decision point")
+	}
+	if lo < hi {
+		k.RunChunk(c, threads, lo, hi)
+	}
+}
+
+// ExecuteMonitored runs iterations [lo, hi) at the decided team size
+// in chunks of mo.Params.Interval, consulting the monitor after each.
+// It returns the first iteration not executed and the drift that
+// stopped it — (hi, nil) when the kernel's remainder completed
+// without a phase change.
+func (ex Executor) ExecuteMonitored(c *thread.Ctx, k Kernel, threads, lo, hi int, mo *Monitor) (int, *Drift) {
+	if !c.AtDecisionPoint() {
+		panic("core: ExecuteMonitored outside a decision point")
+	}
+	step := mo.Params.Interval
+	if step < 1 {
+		step = 1
+	}
+	mo.Arm(c)
+	for lo < hi {
+		end := lo + step
+		if end > hi {
+			end = hi
+		}
+		k.RunChunk(c, threads, lo, end)
+		iters := end - lo
+		lo = end
+		if dr := mo.Observe(c, iters, lo); dr != nil {
+			return lo, dr
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fdt/internal/counters"
+	"fdt/internal/thread"
+)
+
+// This file implements the Monitor stage of the FDT pipeline — the
+// deviation from the paper's train-once design (Section 9 flags the
+// locked decision as fragile for kernels whose behaviour shifts
+// mid-execution). During chunked execution the monitor keeps reading
+// per-interval counter deltas and compares the kernel's observed
+// per-iteration critical-section time and bus occupancy against the
+// trained steady-state estimate; when either drifts beyond tolerance,
+// the kernel has changed phase and the controller re-enters the
+// Sample stage at the current iteration.
+
+// MonitorParams tunes the Monitor stage.
+type MonitorParams struct {
+	// Interval is the execution chunk length in iterations; the
+	// monitor reads counter deltas at every chunk boundary (the only
+	// safe re-decision points — between chunks the team has joined).
+	Interval int
+	// DriftTol is the relative tolerance on the per-iteration signals:
+	// an interval drifts when |observed - expected| exceeds
+	// DriftTol x min(observed, expected) and the absolute floor. The
+	// min makes the test symmetric for onsets (expected ~0) and
+	// drop-offs (observed ~0), both of which mark phase boundaries.
+	DriftTol float64
+	// CSFloorCycles / BusFloorCycles are absolute per-iteration floors
+	// (in cycles) below which a difference is measurement noise, not a
+	// phase change.
+	CSFloorCycles  float64
+	BusFloorCycles float64
+	// MaxRetrains caps re-trainings per kernel; past it the remainder
+	// executes unmonitored with the last decision, bounding training
+	// overhead on pathologically unstable kernels.
+	MaxRetrains int
+}
+
+// DefaultMonitorParams returns the monitoring configuration used by
+// the adaptive ablation: re-check every 64 iterations, tolerate 100%
+// relative drift (single-threaded training underestimates contended
+// critical-section cost, so execution-mode readings sit above the
+// trained estimate even within one phase), floors at a few tens of
+// cycles per iteration.
+func DefaultMonitorParams() MonitorParams {
+	return MonitorParams{
+		Interval:       64,
+		DriftTol:       1.0,
+		CSFloorCycles:  16,
+		BusFloorCycles: 24,
+		MaxRetrains:    8,
+	}
+}
+
+// Drift describes one detected phase change.
+type Drift struct {
+	// Iter is the first iteration not yet executed when the drift was
+	// detected — where re-training starts.
+	Iter int
+	// Signal names the drifted quantity: "cs" (per-iteration critical-
+	// section cycles) or "bus" (per-iteration bus busy cycles).
+	Signal string
+	// Observed and Expected are the per-iteration cycle values that
+	// tripped the tolerance.
+	Observed, Expected float64
+}
+
+// SteadyState is the per-iteration steady-state view of a training
+// run — the reference the monitor measures execution intervals
+// against.
+type SteadyState struct {
+	// Iters is the number of steady (post-warmup, in-window) samples.
+	Iters int
+	// CyclesPerIter, CSPerIter and BusPerIter are per-iteration
+	// steady-state averages.
+	CyclesPerIter, CSPerIter, BusPerIter float64
+}
+
+// Monitor watches one kernel's execution against its trained
+// estimate. Arm it after estimation, then Observe after every chunk.
+type Monitor struct {
+	Params MonitorParams
+
+	expCS, expBus float64
+	calibrated    bool
+
+	set  *counters.Set
+	snap counters.Snapshot
+	t0   uint64
+}
+
+// NewMonitor builds a monitor expecting the trained steady state.
+func NewMonitor(p MonitorParams, ref SteadyState) *Monitor {
+	return &Monitor{Params: p, expCS: ref.CSPerIter, expBus: ref.BusPerIter}
+}
+
+// Arm snapshots the counters at the start of monitored execution.
+func (mo *Monitor) Arm(c *thread.Ctx) {
+	mo.set = c.Machine().Ctrs
+	mo.snap = mo.set.Snapshot(thread.CtrCSCycles, counters.BusBusyCycles)
+	mo.t0 = c.CPU.CycleCount()
+}
+
+// Observe reads the counter deltas for the interval that just
+// executed (iters iterations, ending just before iteration nextIter),
+// re-arms for the next interval, and reports a Drift if the observed
+// per-iteration bus or critical-section cycles left the tolerance
+// band around the expectation.
+//
+// The first interval after each (re)training is a calibration
+// interval: it rebases the trained expectations to team-execution
+// values and never reports drift. Training runs single-threaded, so
+// its per-iteration readings are systematically skewed against
+// execution mode — kernels that merge per thread per iteration
+// multiply their critical-section cycles by the team size (Eq 1's
+// model), and contended critical sections pay lock-line ping-pong the
+// training run never sees. Calibrating on the first executed interval
+// makes every subsequent comparison like-for-like while the trained
+// estimate remains the basis of the thread-count decision itself.
+func (mo *Monitor) Observe(c *thread.Ctx, iters, nextIter int) *Drift {
+	if iters <= 0 {
+		return nil
+	}
+	d := mo.set.Advance(mo.snap)
+	mo.t0 = c.CPU.CycleCount()
+	obsCS := float64(d[thread.CtrCSCycles]) / float64(iters)
+	obsBus := float64(d[counters.BusBusyCycles]) / float64(iters)
+
+	if !mo.calibrated {
+		mo.expCS, mo.expBus = obsCS, obsBus
+		mo.calibrated = true
+		return nil
+	}
+	// Bus first: a phase that both saturates the bus and synchronizes
+	// more is bandwidth-limited first (Section 6.3's interaction).
+	if mo.drifted(obsBus, mo.expBus, mo.Params.BusFloorCycles) {
+		return &Drift{Iter: nextIter, Signal: "bus", Observed: obsBus, Expected: mo.expBus}
+	}
+	if mo.drifted(obsCS, mo.expCS, mo.Params.CSFloorCycles) {
+		return &Drift{Iter: nextIter, Signal: "cs", Observed: obsCS, Expected: mo.expCS}
+	}
+	return nil
+}
+
+// drifted applies the tolerance test: the absolute difference must
+// exceed both the noise floor and DriftTol times the smaller of the
+// two values (symmetric for onsets and drop-offs).
+func (mo *Monitor) drifted(obs, exp, floor float64) bool {
+	diff := obs - exp
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff <= floor {
+		return false
+	}
+	lo := obs
+	if exp < obs {
+		lo = exp
+	}
+	return diff > mo.Params.DriftTol*lo
+}

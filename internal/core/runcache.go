@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"unsafe"
 
 	"fdt/internal/machine"
 	"fdt/internal/runner"
@@ -22,8 +23,40 @@ import (
 // identity of their own, so an empty workload key bypasses the cache.
 var runCache runner.Cache[RunResult]
 
+func init() {
+	runCache.SetSizer(runResultBytes)
+}
+
+// runResultBytes estimates a memoized RunResult's heap footprint for
+// the cache's byte accounting: the structs plus their string and
+// slice payloads.
+func runResultBytes(r RunResult) uint64 {
+	size := uint64(unsafe.Sizeof(r))
+	size += uint64(len(r.Workload) + len(r.Policy))
+	for _, k := range r.Kernels {
+		size += uint64(unsafe.Sizeof(k))
+		size += uint64(len(k.Kernel))
+		for _, p := range k.Phases {
+			size += uint64(unsafe.Sizeof(p))
+			size += uint64(len(p.Trigger))
+		}
+	}
+	return size
+}
+
 // RunCacheStats reports process-lifetime run-cache hits and misses.
 func RunCacheStats() (hits, misses uint64) { return runCache.Stats() }
+
+// RunCacheUsage reports the run cache's population: entry count,
+// estimated bytes, and entries evicted by the cap.
+func RunCacheUsage() (entries int, bytes, evictions uint64) {
+	return runCache.Len(), runCache.Bytes(), runCache.Evictions()
+}
+
+// SetRunCacheLimit caps the memoized run count (0 = unlimited): large
+// batch sweeps can bound their memory at the cost of re-simulating
+// whatever they revisit after eviction.
+func SetRunCacheLimit(n int) { runCache.SetLimit(n) }
 
 // ResetRunCache drops every memoized run and zeroes the statistics.
 // Tests and benchmarks use it to measure cold-cache behaviour.
@@ -74,6 +107,27 @@ func RunPolicyKeyed(cfg machine.Config, wkey string, f Factory, pol Policy) RunR
 	}
 	return runCache.Do(runKey(cfg, wkey, pol), func() RunResult {
 		return RunPolicy(cfg, f, pol)
+	})
+}
+
+// RunAdaptive runs the workload on a fresh machine under a
+// phase-adaptive (monitored) controller.
+func RunAdaptive(cfg machine.Config, f Factory, pol Policy, mp MonitorParams) RunResult {
+	m := machine.MustNew(cfg)
+	return NewAdaptiveController(pol, mp).Run(m, f(m))
+}
+
+// RunAdaptiveKeyed is RunAdaptive through the run cache. The monitor
+// configuration joins the content address, so an adaptive run never
+// collides with the train-once run of the same (config, workload,
+// policy) triple — or with an adaptive run under different monitoring.
+func RunAdaptiveKeyed(cfg machine.Config, wkey string, f Factory, pol Policy, mp MonitorParams) RunResult {
+	if wkey == "" {
+		return RunAdaptive(cfg, f, pol, mp)
+	}
+	key := runKey(cfg, wkey, pol) + fmt.Sprintf("|monitor/%+v", mp)
+	return runCache.Do(key, func() RunResult {
+		return RunAdaptive(cfg, f, pol, mp)
 	})
 }
 

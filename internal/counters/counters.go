@@ -40,6 +40,48 @@ func (c *Counter) Sample() Sample { return Sample(c.v) }
 // taken.
 func (c *Counter) DeltaSince(s Sample) uint64 { return c.v - uint64(s) }
 
+// Snapshot is a point-in-time reading of several counters at once —
+// the software idiom for interval-based monitoring: snapshot at the
+// interval's start, ask for the deltas at its end, carry the new
+// snapshot into the next interval.
+type Snapshot map[string]Sample
+
+// Delta holds the events each counter accumulated over one interval.
+type Delta map[string]uint64
+
+// Snapshot samples the named counters (creating absent ones, which
+// read zero) and returns the readings keyed by name.
+func (s *Set) Snapshot(names ...string) Snapshot {
+	snap := make(Snapshot, len(names))
+	for _, n := range names {
+		snap[n] = s.Counter(n).Sample()
+	}
+	return snap
+}
+
+// DeltaSince reports, for every counter in the snapshot, the events
+// accumulated since the snapshot was taken.
+func (s *Set) DeltaSince(snap Snapshot) Delta {
+	d := make(Delta, len(snap))
+	for n, v := range snap {
+		d[n] = s.Counter(n).DeltaSince(v)
+	}
+	return d
+}
+
+// Advance reports the deltas since snap and moves snap forward to the
+// current readings in one step — the per-interval monitoring loop's
+// read-and-rearm operation.
+func (s *Set) Advance(snap Snapshot) Delta {
+	d := make(Delta, len(snap))
+	for n := range snap {
+		c := s.Counter(n)
+		d[n] = c.DeltaSince(snap[n])
+		snap[n] = c.Sample()
+	}
+	return d
+}
+
 // Set is a named collection of counters, the moral equivalent of a
 // performance-monitoring unit's register file.
 type Set struct {

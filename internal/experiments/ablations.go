@@ -203,6 +203,43 @@ func AblationPrefetcher(o Options) Ablation {
 	return a
 }
 
+// AblationAdaptive compares train-once FDT against the Monitor-driven
+// phase-adaptive pipeline on phaseshift, the synthetic kernel whose
+// behaviour changes twice mid-execution (scalable -> CS-limited ->
+// BW-limited). Train-once samples only the scalable prefix and locks
+// its decision for the whole kernel (the fragility Section 9
+// concedes); the adaptive controller re-trains at each detected phase
+// boundary. One row per phase shows where the monitor re-decided and
+// what it chose.
+func AblationAdaptive(o Options) Ablation {
+	a := Ablation{Title: "train-once vs phase-adaptive FDT (phaseshift)"}
+	const name = "phaseshift"
+	once := core.RunPolicyKeyed(o.Cfg, name, factory(name), core.Combined{})
+	ad := core.RunAdaptiveKeyed(o.Cfg, name, factory(name), core.Combined{}, core.DefaultMonitorParams())
+	ok, ak := once.Kernels[0], ad.Kernels[0]
+	a.Rows = append(a.Rows,
+		AblationRow{
+			Config: "train-once", Workload: name,
+			Threads: ok.Decision.Threads, Cycles: once.TotalCycles, TrainIters: ok.TrainIters,
+		},
+		AblationRow{
+			Config: fmt.Sprintf("adaptive (%d retrains)", ak.Retrains), Workload: name,
+			Threads: ak.Decision.Threads, Cycles: ad.TotalCycles, TrainIters: ak.TrainIters,
+		},
+	)
+	for _, p := range ak.Phases {
+		cfg := fmt.Sprintf("  phase @%d", p.StartIter)
+		if p.Trigger != "" {
+			cfg += " (" + p.Trigger + ")"
+		}
+		a.Rows = append(a.Rows, AblationRow{
+			Config: cfg, Workload: name,
+			Threads: p.Decision.Threads, Cycles: p.Cycles, TrainIters: p.TrainIters,
+		})
+	}
+	return a
+}
+
 // RunAblations executes the full ablation set, one parallel lane per
 // study (each study is itself a handful of independent simulations).
 func RunAblations(o Options) []Ablation {
@@ -214,6 +251,7 @@ func RunAblations(o Options) []Ablation {
 		AblationTrainingOverhead,
 		AblationRefinedBAT,
 		AblationPrefetcher,
+		AblationAdaptive,
 	}
 	out := make([]Ablation, len(studies))
 	runner.Map(len(studies), func(i int) {

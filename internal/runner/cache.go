@@ -11,22 +11,59 @@ import (
 // Values must be treated as immutable by all callers — the same value
 // is handed to every hit.
 //
+// The cache can account its footprint (SetSizer) and bound its entry
+// count (SetLimit); past the limit the oldest completed entries are
+// evicted, so a long sweep over many configurations runs in bounded
+// memory at the cost of recomputing whatever it revisits.
+//
 // The zero value is ready to use.
 type Cache[V any] struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry[V]
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	// order holds keys oldest-first for FIFO eviction.
+	order []string
+	limit int
+	sizer func(V) uint64
+	bytes uint64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type cacheEntry[V any] struct {
 	once sync.Once
 	val  V
+	// bytes and done are written once by the computing goroutine
+	// under the cache mutex; done gates eviction so an in-flight
+	// entry is never dropped from under its waiters' accounting.
+	bytes uint64
+	done  bool
+}
+
+// SetLimit caps the number of cached entries; 0 (the default) means
+// unlimited. Shrinking the limit below the current population evicts
+// immediately.
+func (c *Cache[V]) SetLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.limit = n
+	c.evictLocked()
+}
+
+// SetSizer installs a value-size estimator for byte accounting. Only
+// entries computed after the call are measured, so install it before
+// populating the cache.
+func (c *Cache[V]) SetSizer(f func(V) uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sizer = f
 }
 
 // Do returns the cached value for key, computing it with fn on the
 // first request. Concurrent requests for an in-flight key wait for
-// the single computation and count as hits.
+// the single computation and count as hits. A re-request for an
+// evicted key recomputes (and counts as a miss).
 func (c *Cache[V]) Do(key string, fn func() V) V {
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -36,6 +73,7 @@ func (c *Cache[V]) Do(key string, fn func() V) V {
 		}
 		e = new(cacheEntry[V])
 		c.entries[key] = e
+		c.order = append(c.order, key)
 	}
 	c.mu.Unlock()
 	if ok {
@@ -43,8 +81,46 @@ func (c *Cache[V]) Do(key string, fn func() V) V {
 	} else {
 		c.misses.Add(1)
 	}
-	e.once.Do(func() { e.val = fn() })
+	e.once.Do(func() {
+		e.val = fn()
+		c.mu.Lock()
+		if c.sizer != nil {
+			e.bytes = c.sizer(e.val)
+		}
+		e.done = true
+		c.bytes += e.bytes
+		c.evictLocked()
+		c.mu.Unlock()
+	})
 	return e.val
+}
+
+// evictLocked drops the oldest completed entries until the population
+// fits the limit. In-flight entries are skipped: their waiters hold
+// the entry pointer and their accounting lands when they complete.
+func (c *Cache[V]) evictLocked() {
+	if c.limit <= 0 || len(c.entries) <= c.limit {
+		return
+	}
+	kept := c.order[:0]
+	for i, key := range c.order {
+		e, live := c.entries[key]
+		if !live {
+			continue // stale key from an earlier eviction pass
+		}
+		if len(c.entries) > c.limit && e.done {
+			delete(c.entries, key)
+			c.bytes -= e.bytes
+			c.evictions.Add(1)
+			continue
+		}
+		kept = append(kept, key)
+		if len(c.entries) <= c.limit {
+			kept = append(kept, c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = kept
 }
 
 // Stats reports cache hits and misses since construction or the last
@@ -69,11 +145,26 @@ func (c *Cache[V]) Len() int {
 	return len(c.entries)
 }
 
-// Reset drops every entry and zeroes the statistics.
+// Bytes reports the sizer-estimated footprint of the completed cached
+// entries; 0 when no sizer is installed.
+func (c *Cache[V]) Bytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Evictions reports how many entries the limit has pushed out.
+func (c *Cache[V]) Evictions() uint64 { return c.evictions.Load() }
+
+// Reset drops every entry and zeroes the statistics (the limit and
+// sizer persist).
 func (c *Cache[V]) Reset() {
 	c.mu.Lock()
 	c.entries = nil
+	c.order = nil
+	c.bytes = 0
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.evictions.Store(0)
 }

@@ -148,3 +148,86 @@ func TestCacheReset(t *testing.T) {
 		t.Fatalf("stats after reset = %d/%d, want 0/1", h, m)
 	}
 }
+
+func TestCacheLimitEvictsOldestFirst(t *testing.T) {
+	var c Cache[string]
+	c.SetLimit(2)
+	c.SetSizer(func(v string) uint64 { return uint64(len(v)) })
+	keys := []string{"a", "b", "c", "d"}
+	for _, k := range keys {
+		k := k
+		c.Do(k, func() string { return k + k })
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if got := c.Evictions(); got != 2 {
+		t.Errorf("Evictions = %d, want 2", got)
+	}
+	if got := c.Bytes(); got != 4 {
+		t.Errorf("Bytes = %d, want 4 (two 2-byte survivors)", got)
+	}
+	// The newest keys survive; the oldest were evicted and recompute.
+	calls := 0
+	for _, k := range []string{"c", "d"} {
+		c.Do(k, func() string { calls++; return "" })
+	}
+	if calls != 0 {
+		t.Errorf("surviving keys recomputed %d times", calls)
+	}
+	c.Do("a", func() string { calls++; return "aa" })
+	if calls != 1 {
+		t.Errorf("evicted key did not recompute (calls=%d)", calls)
+	}
+}
+
+func TestCacheShrinkLimitEvictsImmediately(t *testing.T) {
+	var c Cache[int]
+	for i := 0; i < 5; i++ {
+		c.Do(strings.Repeat("k", i+1), func() int { return i })
+	}
+	c.SetLimit(1)
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len after shrink = %d, want 1", got)
+	}
+	// The survivor is the newest insertion.
+	calls := 0
+	c.Do(strings.Repeat("k", 5), func() int { calls++; return 0 })
+	if calls != 0 {
+		t.Errorf("newest entry was evicted")
+	}
+}
+
+func TestCacheBytesFollowEviction(t *testing.T) {
+	var c Cache[[]byte]
+	c.SetSizer(func(v []byte) uint64 { return uint64(len(v)) })
+	c.Do("big", func() []byte { return make([]byte, 1000) })
+	c.Do("small", func() []byte { return make([]byte, 10) })
+	if got := c.Bytes(); got != 1010 {
+		t.Fatalf("Bytes = %d, want 1010", got)
+	}
+	c.SetLimit(1) // evicts "big"
+	if got := c.Bytes(); got != 10 {
+		t.Errorf("Bytes after eviction = %d, want 10", got)
+	}
+	c.Reset()
+	if got := c.Bytes(); got != 0 {
+		t.Errorf("Bytes after reset = %d, want 0", got)
+	}
+	if got := c.Len(); got != 0 {
+		t.Errorf("Len after reset = %d, want 0", got)
+	}
+}
+
+func TestCacheZeroLimitUnbounded(t *testing.T) {
+	var c Cache[int]
+	for i := 0; i < 100; i++ {
+		c.Do(strings.Repeat("x", i+1), func() int { return i })
+	}
+	if got := c.Len(); got != 100 {
+		t.Errorf("unbounded cache evicted: Len = %d, want 100", got)
+	}
+	if got := c.Evictions(); got != 0 {
+		t.Errorf("Evictions = %d, want 0", got)
+	}
+}

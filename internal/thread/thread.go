@@ -68,6 +68,13 @@ func (c *Ctx) LoadRange(base uint64, bytes int) { c.CPU.LoadRange(base, bytes) }
 // StoreRange streams stores over [base, base+bytes).
 func (c *Ctx) StoreRange(base uint64, bytes int) { c.CPU.StoreRange(base, bytes) }
 
+// AtDecisionPoint reports whether the context is at a safe
+// re-decision point: on the master thread with no team forked. Only
+// here may a controller change the team size — between chunks, every
+// worker has joined and the next Fork is free to pick a new n. The
+// FDT pipeline's executor asserts this before every chunk.
+func (c *Ctx) AtDecisionPoint() bool { return c.ID == 0 && c.Size == 1 }
+
 // Range block-distributes the half-open interval [lo, hi) across the
 // team and returns this thread's sub-interval — OpenMP's static
 // schedule.
@@ -119,7 +126,7 @@ func Run(m *machine.Machine, main func(c *Ctx)) {
 // supported, as in the paper's OpenMP setup: only the master (ID 0 of
 // a size-1 context) may fork.
 func (c *Ctx) Fork(n int, body func(tc *Ctx)) {
-	if c.ID != 0 || c.Size != 1 {
+	if !c.AtDecisionPoint() {
 		panic("thread: nested Fork is not supported")
 	}
 	m := c.m

@@ -1,0 +1,195 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/thread"
+)
+
+// PhaseShift is a synthetic stress case for the train-once controller
+// (no paper counterpart; registered as an extra, outside Table 2). It
+// is one kernel whose behaviour shifts at two phase boundaries:
+//
+//	phase A [0, P):    scalable     — data-parallel arithmetic over a
+//	                                  cache-resident vector
+//	phase B [P, 2P):   CS-limited   — the same arithmetic, but every
+//	                                  thread folds its partial into a
+//	                                  shared accumulator under a lock
+//	                                  each iteration (Fig 1's shape)
+//	phase C [2P, 3P):  BW-limited   — streams a fresh block from
+//	                                  memory every iteration (ED's
+//	                                  shape)
+//
+// FDT's train-once controller samples phase A and locks 32 threads
+// for the whole kernel, overpaying badly in phase B (Section 9's
+// fragility). The adaptive pipeline's Monitor sees the per-iteration
+// critical-section cycles appear at the A->B boundary and the bus
+// occupancy appear at B->C, re-trains at each, and lands near the
+// per-phase optima.
+type PhaseShift struct {
+	m *machine.Machine
+	p PhaseShiftParams
+
+	vec        []float64
+	vecAddr    uint64
+	streamAddr uint64
+	lock       *thread.Lock
+	accAddr    uint64
+
+	sum float64
+}
+
+// PhaseShiftParams sizes PhaseShift.
+type PhaseShiftParams struct {
+	// ItersPerPhase is the length of each of the three phases.
+	ItersPerPhase int
+	// Elems is the elements processed per iteration.
+	Elems int
+	// ComputeInstr is the per-element arithmetic of phases A and B.
+	ComputeInstr uint64
+	// MergeInstr is the critical-section work of each per-iteration
+	// merge in phase B. With ComputeInstr*Elems ~ 8K instructions of
+	// parallel work, ~200 instructions of serial merge puts P_CS near
+	// 6-7, like PageMine.
+	MergeInstr uint64
+	// StreamInstr is the per-element arithmetic of phase C; the phase
+	// streams Elems fresh elements per iteration, so its bus demand
+	// matches ED's.
+	StreamInstr uint64
+}
+
+// DefaultPhaseShiftParams returns the ablation's configuration.
+func DefaultPhaseShiftParams() PhaseShiftParams {
+	return PhaseShiftParams{
+		ItersPerPhase: 400,
+		Elems:         2048,
+		ComputeInstr:  4,
+		MergeInstr:    200,
+		StreamInstr:   4,
+	}
+}
+
+// NewPhaseShift builds the workload on m.
+func NewPhaseShift(m *machine.Machine, p PhaseShiftParams) *PhaseShift {
+	mustMachine(m, "phaseshift")
+	w := &PhaseShift{m: m, p: p}
+	w.vec = make([]float64, p.Elems)
+	r := newRNG(0x5f17)
+	for i := range w.vec {
+		w.vec[i] = r.float64()*2 - 1
+	}
+	w.vecAddr = m.Alloc(8 * p.Elems)
+	w.streamAddr = m.Alloc(8 * p.Elems * p.ItersPerPhase)
+	w.lock = thread.NewLock(m)
+	w.accAddr = m.Alloc(64)
+	return w
+}
+
+// Name implements core.Workload.
+func (w *PhaseShift) Name() string { return "phaseshift" }
+
+// Kernels implements core.Workload: PhaseShift is a single kernel —
+// that is the point; per-kernel retraining cannot help it.
+func (w *PhaseShift) Kernels() []core.Kernel { return []core.Kernel{w} }
+
+// Setup implements core.SetupWorkload: warm the shared vector, like
+// the serial initialization every real benchmark has.
+func (w *PhaseShift) Setup(c *thread.Ctx) {
+	c.LoadRange(w.vecAddr, 8*w.p.Elems)
+}
+
+// Iterations implements core.Kernel.
+func (w *PhaseShift) Iterations() int { return 3 * w.p.ItersPerPhase }
+
+// phaseOf maps an iteration to its phase (0 = A, 1 = B, 2 = C).
+func (w *PhaseShift) phaseOf(it int) int { return it / w.p.ItersPerPhase }
+
+// RunChunk implements core.Kernel: iterations [lo, hi) on a team of
+// n. Every iteration splits its elements across the team and ends at
+// a barrier, like PageMine's page loop.
+func (w *PhaseShift) RunChunk(master *thread.Ctx, n, lo, hi int) {
+	bar := &thread.Barrier{}
+	master.Fork(n, func(tc *thread.Ctx) {
+		var partial float64
+		for it := lo; it < hi; it++ {
+			myLo, myHi := tc.Range(0, w.p.Elems)
+			share := uint64(myHi - myLo)
+			switch w.phaseOf(it) {
+			case 0: // scalable: hot-vector arithmetic
+				if share > 0 {
+					tc.LoadRange(w.vecAddr+uint64(8*myLo), int(8*share))
+					tc.Exec(share * w.p.ComputeInstr)
+					for i := myLo; i < myHi; i++ {
+						partial += w.vec[i] * w.vec[i]
+					}
+				}
+			case 1: // CS-limited: same arithmetic + per-iteration merge
+				if share > 0 {
+					tc.LoadRange(w.vecAddr+uint64(8*myLo), int(8*share))
+					tc.Exec(share * w.p.ComputeInstr)
+					for i := myLo; i < myHi; i++ {
+						partial += w.vec[i] * w.vec[i]
+					}
+				}
+				tc.Critical(w.lock, func() {
+					tc.Load(w.accAddr)
+					tc.Exec(w.p.MergeInstr)
+					tc.Store(w.accAddr)
+					w.sum += partial
+					partial = 0
+				})
+			case 2: // BW-limited: stream a fresh block every iteration
+				blk := it - 2*w.p.ItersPerPhase
+				base := w.streamAddr + uint64(8*blk*w.p.Elems)
+				if share > 0 {
+					tc.LoadRange(base+uint64(8*myLo), int(8*share))
+					tc.Exec(share * w.p.StreamInstr)
+					for i := myLo; i < myHi; i++ {
+						partial += w.vec[i] * w.vec[i]
+					}
+				}
+			}
+			tc.Barrier(bar)
+		}
+		// Fold the leftover partial from the scalable/streaming phases
+		// once per chunk (ED's negligible chunk-end reduction).
+		if partial != 0 {
+			tc.Critical(w.lock, func() {
+				tc.Exec(4)
+				w.sum += partial
+			})
+		}
+	})
+}
+
+// Verify recomputes the reduction serially. Every iteration of all
+// three phases accumulates the same vector's sum of squares (phase C
+// streams separate memory but reduces the shared vector), so the
+// expected total is 3*P*sum(vec^2), within floating-point reordering
+// tolerance.
+func (w *PhaseShift) Verify() error {
+	var per float64
+	for _, v := range w.vec {
+		per += v * v
+	}
+	want := per * float64(3*w.p.ItersPerPhase)
+	if diff := math.Abs(want - w.sum); diff > 1e-6*math.Abs(want) {
+		return fmt.Errorf("phaseshift: sum %v, want %v", w.sum, want)
+	}
+	return nil
+}
+
+func init() {
+	registerExtra(Info{
+		Name:    "phaseshift",
+		Class:   CSLimited, // the binding limiter of its worst phase
+		Problem: "Synthetic 3-phase kernel",
+		Input:   "3 x 400 iters x 2048 elems",
+		Factory: func(m *machine.Machine) core.Workload {
+			return NewPhaseShift(m, DefaultPhaseShiftParams())
+		},
+	})
+}

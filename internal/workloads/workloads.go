@@ -69,12 +69,26 @@ type Info struct {
 
 var registry []Info
 
-func register(i Info) { registry = append(registry, i) }
+// extras holds workloads beyond the paper's Table 2 (synthetic
+// stress cases, ablation drivers). They resolve through ByName like
+// any workload but stay out of All()/ByClass(), so Table 2 and the
+// whole-suite figures keep the paper's twelve applications.
+var extras []Info
+
+func register(i Info)      { registry = append(registry, i) }
+func registerExtra(i Info) { extras = append(extras, i) }
 
 // All lists every registered workload in Table-2 order.
 func All() []Info {
 	out := make([]Info, len(registry))
 	copy(out, registry)
+	return out
+}
+
+// Extras lists the registered non-Table-2 workloads.
+func Extras() []Info {
+	out := make([]Info, len(extras))
+	copy(out, extras)
 	return out
 }
 
@@ -89,9 +103,15 @@ func ByClass(c Class) []Info {
 	return out
 }
 
-// ByName finds a workload by registry key.
+// ByName finds a workload by registry key, consulting the Table-2
+// registry first and the extras after it.
 func ByName(name string) (Info, bool) {
 	for _, i := range registry {
+		if i.Name == name {
+			return i, true
+		}
+	}
+	for _, i := range extras {
 		if i.Name == name {
 			return i, true
 		}

@@ -308,3 +308,49 @@ func TestNormCDFProperties(t *testing.T) {
 		t.Error("tails wrong")
 	}
 }
+
+// TestPhaseShiftRegisteredAsExtra: the synthetic phased workload must
+// resolve by name without joining the paper's Table-2 registry.
+func TestPhaseShiftRegisteredAsExtra(t *testing.T) {
+	if _, ok := ByName("phaseshift"); !ok {
+		t.Fatal("phaseshift not resolvable by name")
+	}
+	for _, i := range All() {
+		if i.Name == "phaseshift" {
+			t.Error("phaseshift leaked into the Table-2 registry")
+		}
+	}
+	found := false
+	for _, i := range Extras() {
+		if i.Name == "phaseshift" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("phaseshift missing from Extras()")
+	}
+}
+
+// TestPhaseShiftVerifies: the phased workload computes the right
+// reduction at every team size and under the adaptive pipeline, whose
+// interval-chunked execution and mid-kernel re-training must not
+// change the answer.
+func TestPhaseShiftVerifies(t *testing.T) {
+	small := PhaseShiftParams{ItersPerPhase: 40, Elems: 256, ComputeInstr: 4, MergeInstr: 60, StreamInstr: 4}
+	for _, threads := range []int{1, 3, 8} {
+		m := machine.MustNew(machine.DefaultConfig())
+		w := NewPhaseShift(m, small)
+		core.NewController(core.Static{N: threads}).Run(m, w)
+		if err := w.Verify(); err != nil {
+			t.Errorf("at %d threads: %v", threads, err)
+		}
+	}
+	m := machine.MustNew(machine.DefaultConfig())
+	w := NewPhaseShift(m, small)
+	mp := core.DefaultMonitorParams()
+	mp.Interval = 8
+	core.NewAdaptiveController(core.Combined{}, mp).Run(m, w)
+	if err := w.Verify(); err != nil {
+		t.Errorf("under adaptive FDT: %v", err)
+	}
+}
