@@ -16,6 +16,7 @@ import (
 	"fdt/internal/core"
 	"fdt/internal/experiments"
 	"fdt/internal/machine"
+	"fdt/internal/trace"
 	"fdt/internal/workloads"
 )
 
@@ -189,6 +190,28 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// BenchmarkSimulatorThroughputTraced is BenchmarkSimulatorThroughput
+// with the full trace subsystem armed (all categories, 1<<18-event
+// ring) — the cost ceiling of tracing. Compare against the untraced
+// benchmark to read the enabled-tracing overhead; the untraced number
+// itself is the one held to the <=2% no-tracer regression budget.
+func BenchmarkSimulatorThroughputTraced(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	info, _ := workloads.ByName("ed")
+	var events, emitted uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.MustNew(cfg)
+		tr := trace.New(1<<18, trace.CatAll)
+		m.AttachTracer(tr)
+		core.NewController(core.Static{N: 8}).Run(m, info.Factory(m))
+		events += m.Eng.Events()
+		emitted += tr.Emitted()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(emitted)/float64(b.N), "trace-events/op")
 }
 
 // BenchmarkAdaptivePhaseShift times the phase-adaptive pipeline on the

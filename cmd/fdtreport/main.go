@@ -134,7 +134,7 @@ func main() {
 	if hits+misses > 0 {
 		rate = 100 * float64(hits) / float64(hits+misses)
 	}
-	entries, bytes, _ := core.RunCacheUsage()
-	fmt.Printf("[%d workers; run cache: %d hits / %d misses (%.1f%% hit rate), %d entries ~%.1f KiB]\n",
-		runner.Workers(), hits, misses, rate, entries, float64(bytes)/1024)
+	entries, bytes, evictions := core.RunCacheUsage()
+	fmt.Printf("[%d workers; run cache: %d hits / %d misses (%.1f%% hit rate), %d entries ~%.1f KiB, %d evictions]\n",
+		runner.Workers(), hits, misses, rate, entries, float64(bytes)/1024, evictions)
 }

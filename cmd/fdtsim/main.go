@@ -8,6 +8,7 @@
 //	fdtsim -workload pagemine -policy sat+bat
 //	fdtsim -workload ed -policy static -threads 32
 //	fdtsim -workload convert -policy bat -bandwidth 0.5
+//	fdtsim -workload ed -policy bat -trace ed.trace.json
 //	fdtsim -list
 package main
 
@@ -19,6 +20,7 @@ import (
 
 	"fdt/internal/core"
 	"fdt/internal/machine"
+	"fdt/internal/trace"
 	"fdt/internal/workloads"
 )
 
@@ -32,7 +34,8 @@ func main() {
 		verify    = flag.Bool("verify", true, "verify the workload's computed results")
 		list      = flag.Bool("list", false, "list workloads and exit")
 		dumpCtrs  = flag.Bool("counters", false, "dump the machine's counter set")
-		trace     = flag.Bool("trace", false, "sample the run and print bus/active-core sparklines")
+		sparkline = flag.Bool("sparkline", false, "sample the run and print bus/active-core sparklines")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
 	)
 	flag.Parse()
 
@@ -58,8 +61,13 @@ func main() {
 	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
 	m := machine.MustNew(cfg)
 	var samples *machine.SampleLog
-	if *trace {
+	if *sparkline {
 		samples = m.StartSampler(0)
+	}
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New(1<<19, trace.CatMem|trace.CatSync|trace.CatCtl)
+		m.AttachTracer(tr)
 	}
 	w := info.Factory(m)
 	res := core.NewController(pol).Run(m, w)
@@ -84,6 +92,20 @@ func main() {
 	if samples != nil {
 		fmt.Println(samples)
 	}
+	if tr != nil {
+		meta := map[string]string{
+			"workload":     res.Workload,
+			"policy":       res.Policy,
+			"cores":        fmt.Sprintf("%d", *cores),
+			"bandwidth":    fmt.Sprintf("%g", *bandwidth),
+			"total_cycles": fmt.Sprintf("%d", res.TotalCycles),
+		}
+		if err := writeChromeFile(*traceOut, tr, meta); err != nil {
+			fmt.Fprintln(os.Stderr, "fdtsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace      %d events (%d dropped) -> %s\n", tr.Len(), tr.Dropped(), *traceOut)
+	}
 
 	if *verify {
 		if v, ok := w.(workloads.Verifier); ok {
@@ -96,6 +118,18 @@ func main() {
 			fmt.Println("verify     (workload has no verifier)")
 		}
 	}
+}
+
+func writeChromeFile(path string, tr *trace.Tracer, meta map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr, meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parsePolicy(name string, threads int) (core.Policy, error) {

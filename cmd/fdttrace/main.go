@@ -1,0 +1,200 @@
+// Command fdttrace runs one registered workload on the simulated CMP
+// under any threading policy with the trace subsystem armed, and
+// writes the captured trace out: Chrome trace-event JSON (loadable in
+// Perfetto / chrome://tracing) and, optionally, a plain-text
+// per-resource utilization timeline.
+//
+// Usage:
+//
+//	fdttrace -workload phaseshift -policy adaptive
+//	fdttrace -workload pagemine -policy sat+bat -o pagemine.trace.json
+//	fdttrace -workload ed -policy static -threads 8 -timeline ed.timeline.txt
+//	fdttrace -workload convert -policy bat -events all -buf 1048576
+//	fdttrace -list
+//
+// The exported JSON has one track per core, the off-chip bus, each
+// DRAM bank, plus the controller-decision track; open it in
+// https://ui.perfetto.dev. Ring-buffer overflow is reported on stderr
+// and recorded in the trace metadata (events_dropped) — a truncated
+// trace always says so.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/trace"
+	"fdt/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "phaseshift", "workload name (see -list)")
+		policy    = flag.String("policy", "adaptive", "threading policy: sat, bat, sat+bat, static, adaptive")
+		threads   = flag.Int("threads", 0, "thread count for -policy static (0 = all cores)")
+		cores     = flag.Int("cores", 32, "cores on the simulated chip")
+		bandwidth = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
+		out       = flag.String("o", "trace.json", "Chrome trace-event JSON output path")
+		timeline  = flag.String("timeline", "", "also write a plain-text utilization timeline to this path")
+		interval  = flag.Uint64("interval", 10000, "timeline bin width in cycles")
+		events    = flag.String("events", "mem,sync,ctl", "traced categories, comma-separated: sim, mem, sync, ctl (or all)")
+		bufCap    = flag.Int("buf", 1<<19, "trace ring-buffer capacity in events (newest kept on overflow)")
+		list      = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-12s %-28s %s\n", "NAME", "CLASS", "PROBLEM", "INPUT")
+		for _, info := range workloads.All() {
+			fmt.Printf("%-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
+		}
+		for _, info := range workloads.Extras() {
+			fmt.Printf("%-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
+		}
+		return
+	}
+
+	info, ok := workloads.ByName(*workload)
+	if !ok {
+		fatalf("unknown workload %q (try -list)", *workload)
+	}
+	mask, err := parseCategories(*events)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
+	m := machine.MustNew(cfg)
+	tr := trace.New(*bufCap, mask)
+	m.AttachTracer(tr)
+	w := info.Factory(m)
+
+	var res core.RunResult
+	switch strings.ToLower(*policy) {
+	case "adaptive":
+		res = core.NewAdaptiveController(core.Combined{}, core.DefaultMonitorParams()).Run(m, w)
+	default:
+		pol, err := parsePolicy(*policy, *threads)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res = core.NewController(pol).Run(m, w)
+	}
+
+	meta := map[string]string{
+		"workload":     res.Workload,
+		"policy":       policyLabel(*policy, res.Policy),
+		"cores":        fmt.Sprintf("%d", *cores),
+		"bandwidth":    fmt.Sprintf("%g", *bandwidth),
+		"total_cycles": fmt.Sprintf("%d", res.TotalCycles),
+	}
+	if err := writeChromeFile(*out, tr, meta); err != nil {
+		fatalf("%v", err)
+	}
+	if *timeline != "" {
+		if err := writeTimelineFile(*timeline, tr, *interval); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	fmt.Printf("workload   %s under %s: %d cycles, %.2f avg active cores\n",
+		res.Workload, policyLabel(*policy, res.Policy), res.TotalCycles, res.AvgActiveCores)
+	for _, k := range res.Kernels {
+		if k.Retrains > 0 {
+			fmt.Printf("kernel     %s: %d phases (%d retrains)\n", k.Kernel, len(k.Phases), k.Retrains)
+		}
+	}
+	fmt.Printf("trace      %d events captured (%d emitted, %d dropped; categories %s) -> %s\n",
+		tr.Len(), tr.Emitted(), tr.Dropped(), mask, *out)
+	if *timeline != "" {
+		fmt.Printf("timeline   interval %d cycles -> %s\n", *interval, *timeline)
+	}
+	if tr.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "fdttrace: ring buffer overflowed: %d events dropped (oldest first); raise -buf or narrow -events\n",
+			tr.Dropped())
+	}
+}
+
+// policyLabel names the effective policy: the adaptive pseudo-policy
+// wraps the combined SAT+BAT policy in a monitored controller.
+func policyLabel(requested, resolved string) string {
+	if strings.ToLower(requested) == "adaptive" {
+		return "adaptive(" + resolved + ")"
+	}
+	return resolved
+}
+
+func writeChromeFile(path string, tr *trace.Tracer, meta map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr, meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTimelineFile(path string, tr *trace.Tracer, interval uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteTimeline(f, tr, interval); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseCategories resolves the -events flag to a category mask.
+func parseCategories(s string) (trace.Category, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return trace.CatAll, nil
+	}
+	var mask trace.Category
+	for _, part := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(part)) {
+		case "sim":
+			mask |= trace.CatSim
+		case "mem":
+			mask |= trace.CatMem
+		case "sync":
+			mask |= trace.CatSync
+		case "ctl":
+			mask |= trace.CatCtl
+		case "":
+		default:
+			return 0, fmt.Errorf("unknown event category %q (want sim, mem, sync, ctl or all)", part)
+		}
+	}
+	if mask == 0 {
+		return 0, fmt.Errorf("no event categories selected")
+	}
+	return mask, nil
+}
+
+func parsePolicy(name string, threads int) (core.Policy, error) {
+	switch strings.ToLower(name) {
+	case "sat":
+		return core.SAT{}, nil
+	case "bat":
+		return core.BAT{}, nil
+	case "sat+bat", "combined", "fdt":
+		return core.Combined{}, nil
+	case "static":
+		return core.Static{N: threads}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want sat, bat, sat+bat, static or adaptive)", name)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fdttrace: "+format+"\n", args...)
+	os.Exit(2)
+}

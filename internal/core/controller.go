@@ -4,6 +4,7 @@ import (
 	"fdt/internal/counters"
 	"fdt/internal/machine"
 	"fdt/internal/thread"
+	"fdt/internal/trace"
 )
 
 // TrainingParams tunes the FDT training loop. Defaults reproduce the
@@ -165,6 +166,62 @@ func (ctl *Controller) Run(m *machine.Machine, w Workload) RunResult {
 	return res
 }
 
+// ctlTrace emits the controller's pipeline onto the trace's
+// "controller" track: sample and execute spans, decision instants,
+// and retrain instants carrying the counter deltas that triggered
+// them. The zero value (no tracer, or one without trace.CatCtl) is a
+// no-op, so the pipeline code calls it unconditionally.
+type ctlTrace struct {
+	tr    *trace.Tracer
+	track trace.TrackID
+	on    bool
+}
+
+// newCtlTrace builds the controller's trace handle for one machine.
+func newCtlTrace(m *machine.Machine) ctlTrace {
+	t := m.Trace
+	if !t.Wants(trace.CatCtl) {
+		return ctlTrace{}
+	}
+	return ctlTrace{tr: t, track: t.Track(trace.ControllerTrack), on: true}
+}
+
+// span emits a Complete stage span.
+func (ct ctlTrace) span(name, kernel string, start, end uint64, a0, a1, a2 uint64) {
+	if !ct.on || end < start {
+		return
+	}
+	ct.tr.Emit(trace.CatCtl, trace.Event{
+		Cycle: start, Dur: end - start, Track: ct.track, Kind: trace.Complete,
+		Name: name, Label: kernel, A0: a0, A1: a1, A2: a2,
+	})
+}
+
+// decision emits the Estimate stage's output as an instant.
+func (ct ctlTrace) decision(kernel string, cycle uint64, d Decision) {
+	if !ct.on {
+		return
+	}
+	ct.tr.Emit(trace.CatCtl, trace.Event{
+		Cycle: cycle, Track: ct.track, Kind: trace.Instant, Name: "decision",
+		Label: kernel, A0: uint64(d.Threads), A1: uint64(d.PCS), A2: uint64(d.PBW),
+	})
+}
+
+// retrain emits a Monitor-triggered phase change: the drifted signal
+// and the observed/expected per-iteration cycle values that tripped
+// the tolerance — the audit trail for "why did it retrain here".
+func (ct ctlTrace) retrain(cycle uint64, dr *Drift) {
+	if !ct.on {
+		return
+	}
+	ct.tr.Emit(trace.CatCtl, trace.Event{
+		Cycle: cycle, Track: ct.track, Kind: trace.Instant, Name: "retrain",
+		Label: dr.Signal, A0: uint64(dr.Iter),
+		A1: uint64(dr.Observed + 0.5), A2: uint64(dr.Expected + 0.5),
+	})
+}
+
 // runKernel drives one kernel through the pipeline. Policies that do
 // not train (and kernels too small to peel) take the static path;
 // training policies sample, estimate and execute — once when
@@ -174,10 +231,13 @@ func (ctl *Controller) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 	cores := m.Contexts()
 	n := k.Iterations()
 	start := c.CPU.CycleCount()
+	ct := newCtlTrace(m)
 
 	if !ctl.Policy.NeedsTraining() || n < ctl.Params.MinIterations {
 		d := Decision{Threads: ctl.Policy.StaticThreads(cores)}
+		ct.decision(k.Name(), start, d)
 		Executor{}.Execute(c, k, d.Threads, 0, n)
+		ct.span("execute", k.Name(), start, c.CPU.CycleCount(), uint64(d.Threads), 0, uint64(n))
 		return KernelResult{
 			Kernel:   k.Name(),
 			Decision: d,
@@ -186,18 +246,22 @@ func (ctl *Controller) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 	}
 
 	if ctl.Monitor == nil {
-		return ctl.runTrainOnce(c, k, n, cores, start)
+		return ctl.runTrainOnce(c, k, n, cores, start, ct)
 	}
-	return ctl.runAdaptive(c, k, n, cores, start)
+	return ctl.runAdaptive(c, k, n, cores, start, ct)
 }
 
 // runTrainOnce is Fig 7's three-stage flow: train on a peeled prefix,
 // estimate once, execute the remainder as a single chunk.
-func (ctl *Controller) runTrainOnce(c *thread.Ctx, k Kernel, n, cores int, start uint64) KernelResult {
+func (ctl *Controller) runTrainOnce(c *thread.Ctx, k Kernel, n, cores int, start uint64, ct ctlTrace) KernelResult {
 	out := Sampler{Params: ctl.Params}.Sample(c, k, ctl.Policy, 0, n)
 	d, _ := Estimator{Params: ctl.Params}.Estimate(ctl.Policy, out, cores)
 	trainCycles := c.CPU.CycleCount() - start
+	ct.span("sample", k.Name(), start, c.CPU.CycleCount(), uint64(out.Train.Iters), 0, 0)
+	ct.decision(k.Name(), c.CPU.CycleCount(), d)
+	execStart := c.CPU.CycleCount()
 	Executor{}.Execute(c, k, d.Threads, out.Next, n)
+	ct.span("execute", k.Name(), execStart, c.CPU.CycleCount(), uint64(d.Threads), uint64(out.Next), uint64(n))
 	return KernelResult{
 		Kernel:      k.Name(),
 		Decision:    d,
@@ -213,7 +277,7 @@ func (ctl *Controller) runTrainOnce(c *thread.Ctx, k Kernel, n, cores int, start
 // detected phase change (up to MaxRetrains). Tails too short to
 // re-train on, and the remainder after the retrain budget is spent,
 // execute unmonitored with the current decision.
-func (ctl *Controller) runAdaptive(c *thread.Ctx, k Kernel, n, cores int, start uint64) KernelResult {
+func (ctl *Controller) runAdaptive(c *thread.Ctx, k Kernel, n, cores int, start uint64, ct ctlTrace) KernelResult {
 	mp := *ctl.Monitor
 	sampler := Sampler{Params: ctl.Params}
 	estimator := Estimator{Params: ctl.Params}
@@ -226,15 +290,22 @@ func (ctl *Controller) runAdaptive(c *thread.Ctx, k Kernel, n, cores int, start 
 		out := sampler.Sample(c, k, ctl.Policy, iter, n)
 		d, _ := estimator.Estimate(ctl.Policy, out, cores)
 		trainCycles := c.CPU.CycleCount() - phaseStart
+		ct.span("sample", k.Name(), phaseStart, c.CPU.CycleCount(), uint64(out.Train.Iters), uint64(iter), 0)
+		ct.decision(k.Name(), c.CPU.CycleCount(), d)
 
 		var stop int
 		var dr *Drift
+		execStart := c.CPU.CycleCount()
 		if kr.Retrains >= mp.MaxRetrains {
 			Executor{}.Execute(c, k, d.Threads, out.Next, n)
 			stop = n
 		} else {
 			mo := NewMonitor(mp, estimator.Steady(out))
 			stop, dr = Executor{}.ExecuteMonitored(c, k, d.Threads, out.Next, n, mo)
+		}
+		ct.span("execute", k.Name(), execStart, c.CPU.CycleCount(), uint64(d.Threads), uint64(out.Next), uint64(stop))
+		if dr != nil {
+			ct.retrain(c.CPU.CycleCount(), dr)
 		}
 
 		kr.TrainIters += out.Train.Iters

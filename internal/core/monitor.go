@@ -3,6 +3,7 @@ package core
 import (
 	"fdt/internal/counters"
 	"fdt/internal/thread"
+	"fdt/internal/trace"
 )
 
 // This file implements the Monitor stage of the FDT pipeline — the
@@ -89,6 +90,12 @@ type Monitor struct {
 	set  *counters.Set
 	snap counters.Snapshot
 	t0   uint64
+
+	// tr/track emit one "monitor" instant per interval reading —
+	// the audit trail behind every retrain (and every non-retrain).
+	tr     *trace.Tracer
+	track  trace.TrackID
+	traced bool
 }
 
 // NewMonitor builds a monitor expecting the trained steady state.
@@ -101,6 +108,11 @@ func (mo *Monitor) Arm(c *thread.Ctx) {
 	mo.set = c.Machine().Ctrs
 	mo.snap = mo.set.Snapshot(thread.CtrCSCycles, counters.BusBusyCycles)
 	mo.t0 = c.CPU.CycleCount()
+	if t := c.Machine().Trace; t.Wants(trace.CatCtl) {
+		mo.tr = t
+		mo.track = t.Track(trace.ControllerTrack)
+		mo.traced = true
+	}
 }
 
 // Observe reads the counter deltas for the interval that just
@@ -127,6 +139,13 @@ func (mo *Monitor) Observe(c *thread.Ctx, iters, nextIter int) *Drift {
 	mo.t0 = c.CPU.CycleCount()
 	obsCS := float64(d[thread.CtrCSCycles]) / float64(iters)
 	obsBus := float64(d[counters.BusBusyCycles]) / float64(iters)
+
+	if mo.traced {
+		mo.tr.Emit(trace.CatCtl, trace.Event{
+			Cycle: mo.t0, Track: mo.track, Kind: trace.Instant, Name: "monitor",
+			A0: uint64(obsCS + 0.5), A1: uint64(obsBus + 0.5), A2: uint64(nextIter),
+		})
+	}
 
 	if !mo.calibrated {
 		mo.expCS, mo.expBus = obsCS, obsBus

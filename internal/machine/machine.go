@@ -11,6 +11,7 @@ import (
 	"fdt/internal/mem"
 	"fdt/internal/power"
 	"fdt/internal/sim"
+	"fdt/internal/trace"
 )
 
 // Config describes a machine. Zero value is unusable; start from
@@ -70,12 +71,20 @@ type Machine struct {
 	Ctrs  *counters.Set
 	Power *power.Meter
 
+	// Trace is the machine's tracer, nil (all emit sites no-op) until
+	// AttachTracer installs one. Layers that hold a Machine — the
+	// threading runtime, the FDT controller — emit through it.
+	Trace *trace.Tracer
+
 	// ctxBusy tracks hardware-context occupancy; coreLoad counts the
 	// occupied contexts per core; coreSince records when each core
 	// last became active (for the power integral).
 	ctxBusy   []bool
 	coreLoad  []int
 	coreSince []uint64
+	// coreTracks caches per-core trace tracks for the threading
+	// runtime's synchronization spans.
+	coreTracks []trace.TrackID
 }
 
 // New builds a machine.
@@ -111,6 +120,33 @@ func MustNew(cfg Config) *Machine {
 	}
 	return m
 }
+
+// AttachTracer wires a tracer through every layer of the machine:
+// the event engine (dispatch/blocked events), the memory system (bus,
+// DRAM banks, L3) and the per-core tracks the threading runtime and
+// controller emit onto. Call it after New and before the run starts;
+// attaching nil is a no-op and the machine stays untraced. Tracing
+// never perturbs the simulation — a traced run and an untraced run of
+// the same configuration are cycle-identical.
+func (m *Machine) AttachTracer(t *trace.Tracer) {
+	if t == nil {
+		return
+	}
+	m.Trace = t
+	m.Eng.SetTracer(t)
+	m.Mem.SetTracer(t)
+	if t.Wants(trace.CatSync) {
+		m.coreTracks = make([]trace.TrackID, m.Cores())
+		for c := range m.coreTracks {
+			m.coreTracks[c] = t.Track(fmt.Sprintf("core-%d", c))
+		}
+	}
+}
+
+// CoreTrack reports the trace track for a core's synchronization
+// spans. Only meaningful while a tracer with trace.CatSync is
+// attached (callers gate on m.Trace.Wants).
+func (m *Machine) CoreTrack(core int) trace.TrackID { return m.coreTracks[core] }
 
 // Cores reports the number of cores on the chip.
 func (m *Machine) Cores() int { return m.Cfg.Mem.Cores }

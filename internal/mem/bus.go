@@ -3,6 +3,7 @@ package mem
 import (
 	"fdt/internal/counters"
 	"fdt/internal/sim"
+	"fdt/internal/trace"
 )
 
 // Bus models the split-transaction, pipelined off-chip bus of Table 1.
@@ -19,6 +20,12 @@ type Bus struct {
 	busy *counters.Counter
 	txns *counters.Counter
 	wait *counters.Counter
+
+	// tr/track emit one span per data-phase occupancy onto the "bus"
+	// trace track; traced caches the category check.
+	tr     *trace.Tracer
+	track  trace.TrackID
+	traced bool
 }
 
 // NewBus builds the off-chip bus and registers its counters
@@ -32,6 +39,16 @@ func NewBus(cfg Config, ctrs *counters.Set) *Bus {
 		txns: ctrs.Counter(counters.BusTransactions),
 		wait: ctrs.Counter(counters.BusWaitCycles),
 	}
+}
+
+// setTracer arms bus tracing (called via System.SetTracer).
+func (b *Bus) setTracer(t *trace.Tracer) {
+	if !t.Wants(trace.CatMem) {
+		return
+	}
+	b.tr = t
+	b.track = t.Track("bus")
+	b.traced = true
 }
 
 // Latency reports the one-way command latency.
@@ -50,6 +67,11 @@ func (b *Bus) TransferLine(p *sim.Proc) {
 	p.WaitUntil(start + b.perL)
 	b.busy.Add(b.perL)
 	b.txns.Inc()
+	if b.traced {
+		b.tr.Emit(trace.CatMem, trace.Event{
+			Cycle: start, Dur: b.perL, Track: b.track, Kind: trace.Complete, Name: "xfer",
+		})
+	}
 }
 
 // PostTransfer schedules one line's data phase without blocking the
@@ -60,6 +82,11 @@ func (b *Bus) PostTransfer(earliest uint64) (done uint64) {
 	start := b.data.ReserveAt(earliest, b.perL)
 	b.busy.Add(b.perL)
 	b.txns.Inc()
+	if b.traced {
+		b.tr.Emit(trace.CatMem, trace.Event{
+			Cycle: start, Dur: b.perL, Track: b.track, Kind: trace.Complete, Name: "posted-xfer",
+		})
+	}
 	return start + b.perL
 }
 

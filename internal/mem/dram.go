@@ -1,8 +1,11 @@
 package mem
 
 import (
+	"fmt"
+
 	"fdt/internal/counters"
 	"fdt/internal/sim"
+	"fdt/internal/trace"
 )
 
 // DRAM models the Table-1 main memory: 32 banks, roughly 200-cycle
@@ -25,6 +28,12 @@ type DRAM struct {
 	rowHits   *counters.Counter
 	rowMisses *counters.Counter
 	bankWait  *counters.Counter
+
+	// tr/tracks emit one span per bank access (named by row-buffer
+	// outcome) onto per-bank trace tracks; traced caches the check.
+	tr     *trace.Tracer
+	tracks []trace.TrackID
+	traced bool
 }
 
 type dramBank struct {
@@ -62,6 +71,30 @@ func NewDRAM(cfg Config, ctrs *counters.Set) *DRAM {
 	return d
 }
 
+// setTracer arms per-bank tracing (called via System.SetTracer).
+func (d *DRAM) setTracer(t *trace.Tracer) {
+	if !t.Wants(trace.CatMem) {
+		return
+	}
+	d.tr = t
+	d.tracks = make([]trace.TrackID, len(d.banks))
+	for i := range d.banks {
+		d.tracks[i] = t.Track(fmt.Sprintf("dram-bank-%d", i))
+	}
+	d.traced = true
+}
+
+// traceAccess emits one bank-occupancy span, named by row outcome.
+func (d *DRAM) traceAccess(bank int, start, lat uint64, hit bool) {
+	name := "row-miss"
+	if hit {
+		name = "row-hit"
+	}
+	d.tr.Emit(trace.CatMem, trace.Event{
+		Cycle: start, Dur: lat, Track: d.tracks[bank], Kind: trace.Complete, Name: name,
+	})
+}
+
 // bankAndRow maps a byte address to its bank and row. The bank is an
 // XOR fold of the line address (bank hashing); the row is the 4KB
 // region the line belongs to. Tracking the global row per bank is the
@@ -88,7 +121,8 @@ func (d *DRAM) Access(p *sim.Proc, addr uint64) {
 	bank, row := d.bankAndRow(addr)
 	b := d.banks[bank]
 	lat := d.missLat
-	if d.modelRow && b.hasOpen && b.openRow == row {
+	hit := d.modelRow && b.hasOpen && b.openRow == row
+	if hit {
 		lat = d.hitLat
 		d.rowHits.Inc()
 	} else {
@@ -99,6 +133,9 @@ func (d *DRAM) Access(p *sim.Proc, addr uint64) {
 	start := b.res.Acquire(p, lat)
 	d.bankWait.Add(start - t0)
 	p.WaitUntil(start + lat)
+	if d.traced {
+		d.traceAccess(bank, start, lat, hit)
+	}
 }
 
 // PostAccess performs a posted (non-blocking) access starting no
@@ -109,7 +146,8 @@ func (d *DRAM) PostAccess(earliest, addr uint64) (done uint64) {
 	bank, row := d.bankAndRow(addr)
 	b := d.banks[bank]
 	lat := d.missLat
-	if d.modelRow && b.hasOpen && b.openRow == row {
+	hit := d.modelRow && b.hasOpen && b.openRow == row
+	if hit {
 		lat = d.hitLat
 		d.rowHits.Inc()
 	} else {
@@ -117,6 +155,9 @@ func (d *DRAM) PostAccess(earliest, addr uint64) (done uint64) {
 	}
 	b.hasOpen, b.openRow = d.modelRow, row
 	start := b.res.ReserveAt(earliest, lat)
+	if d.traced {
+		d.traceAccess(bank, start, lat, hit)
+	}
 	return start + lat
 }
 

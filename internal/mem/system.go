@@ -5,6 +5,7 @@ import (
 
 	"fdt/internal/counters"
 	"fdt/internal/sim"
+	"fdt/internal/trace"
 )
 
 // System is the complete memory system of the simulated CMP: one
@@ -32,6 +33,12 @@ type System struct {
 
 	// heap is the bump allocator cursor for workload address space.
 	heap uint64
+
+	// tr/coreTracks emit L3-miss instants onto per-core trace tracks;
+	// memTrace caches the category check.
+	tr         *trace.Tracer
+	coreTracks []trace.TrackID
+	memTrace   bool
 }
 
 type l3Bank struct {
@@ -101,6 +108,34 @@ func MustNewSystem(cfg Config, ctrs *counters.Set) *System {
 		panic(err)
 	}
 	return s
+}
+
+// SetTracer arms memory-system tracing: bus data-phase spans, DRAM
+// bank-access spans, and per-core L3-miss instants. A nil tracer, or
+// one without trace.CatMem, leaves every memory hot path untraced.
+func (s *System) SetTracer(t *trace.Tracer) {
+	if !t.Wants(trace.CatMem) {
+		return
+	}
+	s.tr = t
+	s.memTrace = true
+	s.Bus.setTracer(t)
+	s.DRAM.setTracer(t)
+	s.coreTracks = make([]trace.TrackID, s.Cfg.Cores)
+	for c := range s.coreTracks {
+		s.coreTracks[c] = t.Track(fmt.Sprintf("core-%d", c))
+	}
+}
+
+// traceL3Miss emits an L3-miss instant on the requesting core's track.
+func (s *System) traceL3Miss(now uint64, core, bank int) {
+	if !s.memTrace {
+		return
+	}
+	s.tr.Emit(trace.CatMem, trace.Event{
+		Cycle: now, Track: s.coreTracks[core], Kind: trace.Instant,
+		Name: "l3-miss", A0: uint64(bank),
+	})
 }
 
 // Port returns core's memory port.
@@ -177,6 +212,7 @@ func (s *System) postPrefetch(now uint64, pt *Port, addr uint64) {
 		s.l3Hits.Inc()
 	} else {
 		s.l3Misses.Inc()
+		s.traceL3Miss(now, pt.core, bank)
 		s.DRAM.PostAccess(now+cfg.BusLat, addr)
 		s.Bus.PostTransfer(now)
 		s.insertL3(now, bank, line, dirty)
@@ -295,6 +331,7 @@ func (s *System) postOwnership(now uint64, pt *Port, addr, line uint64) (done ui
 		return done
 	}
 	s.l3Misses.Inc()
+	s.traceL3Miss(now, pt.core, bank)
 	// The data-bus slot is reserved work-conservingly at the current
 	// cycle: a split-transaction bus backfills its schedule from the
 	// pending-transaction queue, so it never idles while transactions
@@ -371,6 +408,7 @@ func (s *System) sharedAccess(p *sim.Proc, pt *Port, addr, line uint64, write bo
 		s.l3Hits.Inc()
 	} else {
 		s.l3Misses.Inc()
+		s.traceL3Miss(p.Now(), pt.core, bank)
 		s.fetchFromMemory(p, addr)
 		s.insertL3(p.Now(), bank, line, lineDirtyInL3)
 	}

@@ -20,6 +20,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"fdt/internal/trace"
 )
 
 // initialHeapCap pre-sizes the future-event heap so steady-state
@@ -50,6 +52,11 @@ type Engine struct {
 	// stepHook, when non-nil, is invoked before each event dispatch.
 	// Used by tests to observe scheduling order.
 	stepHook func(t uint64, p *Proc)
+	// tracer receives kernel-level trace events (dispatches, blocked
+	// spans) when simTrace is set; the cached boolean keeps the
+	// disabled case a single predictable branch in the dispatch loop.
+	tracer   *trace.Tracer
+	simTrace bool
 }
 
 // procFault records a panic raised inside a process body so Run can
@@ -80,6 +87,21 @@ func (e *Engine) Live() int { return len(e.live) }
 // Events reports the number of events the engine has dispatched so
 // far — the basis for events/second throughput metrics.
 func (e *Engine) Events() uint64 { return e.dispatched }
+
+// SetTracer attaches a tracer to the engine. With trace.CatSim in the
+// tracer's mask the engine emits a "dispatch" instant per delivered
+// event and a "blocked" span per Park/Wake pair, each on a track named
+// after the process. A nil tracer (or a mask without CatSim) keeps
+// the dispatch loop's tracing cost at one always-false branch.
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	e.tracer = t
+	e.simTrace = t.Wants(trace.CatSim)
+	if e.simTrace {
+		for p := range e.live {
+			p.track = t.Track(p.name)
+		}
+	}
+}
 
 type event struct {
 	t   uint64
@@ -208,6 +230,10 @@ type Proc struct {
 	baton  chan struct{}
 	parked bool
 	done   bool
+	// track and parkedAt support kernel-level tracing; both are
+	// maintained only while the engine's simTrace flag is set.
+	track    trace.TrackID
+	parkedAt uint64
 }
 
 // Name reports the diagnostic name the process was spawned with.
@@ -225,6 +251,9 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		eng:   e,
 		name:  name,
 		baton: make(chan struct{}),
+	}
+	if e.simTrace {
+		p.track = e.tracer.Track(name)
 	}
 	e.live[p] = struct{}{}
 	go func() {
@@ -278,6 +307,9 @@ func (p *Proc) Yield() { p.WaitUntil(p.eng.now) }
 // Run panics with a diagnostic.
 func (p *Proc) Park() {
 	p.parked = true
+	if p.eng.simTrace {
+		p.parkedAt = p.eng.now
+	}
 	p.yield()
 }
 
@@ -294,6 +326,15 @@ func (e *Engine) wake(q *Proc) {
 		panic(fmt.Sprintf("sim: Wake(%s): process is not parked", q.name))
 	}
 	q.parked = false
+	if e.simTrace {
+		e.tracer.Emit(trace.CatSim, trace.Event{
+			Cycle: q.parkedAt,
+			Dur:   e.now - q.parkedAt,
+			Track: q.track,
+			Kind:  trace.Complete,
+			Name:  "blocked",
+		})
+	}
 	e.schedule(e.now, q)
 }
 
@@ -312,6 +353,11 @@ func (e *Engine) Run() {
 		e.dispatched++
 		if e.stepHook != nil {
 			e.stepHook(e.now, p)
+		}
+		if e.simTrace {
+			e.tracer.Emit(trace.CatSim, trace.Event{
+				Cycle: e.now, Track: p.track, Kind: trace.Instant, Name: "dispatch",
+			})
 		}
 		p.baton <- struct{}{}
 		<-p.baton

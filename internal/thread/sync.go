@@ -3,6 +3,7 @@ package thread
 import (
 	"fdt/internal/machine"
 	"fdt/internal/sim"
+	"fdt/internal/trace"
 )
 
 // Lock is a FIFO mutual-exclusion lock guarding a critical section.
@@ -67,6 +68,23 @@ func (c *Ctx) Critical(l *Lock, body func()) {
 	exited := p.Now()
 	ctrs.Counter(CtrCSCycles).Add(exited - entered)
 
+	// One span per acquisition (plus one for any wait) on the thread's
+	// core track — the serialized critical-section stream of Eq 3,
+	// visible per thread in Perfetto.
+	if tr := c.m.Trace; tr.Wants(trace.CatSync) {
+		tk := c.m.CoreTrack(c.CPU.Core())
+		if entered > waitStart {
+			tr.Emit(trace.CatSync, trace.Event{
+				Cycle: waitStart, Dur: entered - waitStart, Track: tk,
+				Kind: trace.Complete, Name: "cs-wait", A0: uint64(c.ID),
+			})
+		}
+		tr.Emit(trace.CatSync, trace.Event{
+			Cycle: entered, Dur: exited - entered, Track: tk,
+			Kind: trace.Complete, Name: "cs", A0: uint64(c.ID),
+		})
+	}
+
 	// Hand the lock to the next waiter in FIFO order, or free it.
 	if len(l.waiters) > 0 {
 		next := l.waiters[0]
@@ -103,5 +121,13 @@ func (c *Ctx) Barrier(b *Barrier) {
 		b.waiters = b.waiters[:0]
 		b.arrived = 0
 	}
-	c.m.Ctrs.Counter(CtrBarrierWaitCycles).Add(p.Now() - start)
+	if now := p.Now(); now > start {
+		c.m.Ctrs.Counter(CtrBarrierWaitCycles).Add(now - start)
+		if tr := c.m.Trace; tr.Wants(trace.CatSync) {
+			tr.Emit(trace.CatSync, trace.Event{
+				Cycle: start, Dur: now - start, Track: c.m.CoreTrack(c.CPU.Core()),
+				Kind: trace.Complete, Name: "barrier-wait", A0: uint64(c.ID),
+			})
+		}
+	}
 }

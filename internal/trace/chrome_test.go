@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracer builds a small fixed trace exercising every exporter
+// feature: both event kinds, labels, named args, track interning and
+// drop accounting (capacity 6 against 7 accepted events).
+func goldenTracer() *Tracer {
+	tr := New(6, CatMem|CatSync|CatCtl)
+	bus := tr.Track("bus")
+	core0 := tr.Track("core-0")
+	ctl := tr.Track(ControllerTrack)
+
+	tr.Emit(CatCtl, Event{Cycle: 0, Dur: 90, Track: ctl, Kind: Complete,
+		Name: "sample", Label: "kern", A0: 4, A1: 0})
+	tr.Emit(CatSim, Event{Cycle: 5, Track: core0, Kind: Instant, Name: "dispatch"}) // masked out
+	tr.Emit(CatCtl, Event{Cycle: 90, Track: ctl, Kind: Instant,
+		Name: "decision", Label: "kern", A0: 8, A1: 8, A2: 0})
+	tr.Emit(CatMem, Event{Cycle: 100, Dur: 16, Track: bus, Kind: Complete, Name: "xfer"})
+	tr.Emit(CatSync, Event{Cycle: 104, Dur: 40, Track: core0, Kind: Complete, Name: "cs", A0: 3})
+	tr.Emit(CatSync, Event{Cycle: 96, Dur: 8, Track: core0, Kind: Complete, Name: "cs-wait", A0: 3})
+	tr.Emit(CatCtl, Event{Cycle: 900, Track: ctl, Kind: Instant,
+		Name: "retrain", Label: "cs", A0: 452, A1: 7392, A2: 33})
+	tr.Emit(CatMem, Event{Cycle: 950, Track: core0, Kind: Instant, Name: "l3-miss", A0: 17})
+	return tr
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChrome(&buf, goldenTracer(), map[string]string{
+		"workload": "golden",
+		"policy":   "static",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update ./internal/trace` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("export differs from golden file %s:\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+// chromeDoc is the subset of the trace-event JSON object format the
+// shape test checks.
+type chromeDoc struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+	TraceEvents     []map[string]any  `json:"traceEvents"`
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	tr := goldenTracer()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr, map[string]string{"workload": "golden"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	for _, k := range []string{"clock", "categories", "ring_capacity", "events_emitted", "events_dropped", "workload"} {
+		if _, ok := doc.OtherData[k]; !ok {
+			t.Errorf("otherData missing %q", k)
+		}
+	}
+	if got, want := doc.OtherData["events_dropped"], "1"; got != want {
+		t.Errorf("events_dropped = %q, want %q (7 accepted into capacity 6)", got, want)
+	}
+
+	var procNamed bool
+	named := map[float64]string{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event missing pid: %v", ev)
+		}
+		if _, ok := ev["tid"]; !ok {
+			t.Fatalf("event missing tid: %v", ev)
+		}
+		switch ph {
+		case "M":
+			if ev["name"] == "process_name" {
+				procNamed = true
+			}
+			if ev["name"] == "thread_name" {
+				args := ev["args"].(map[string]any)
+				named[ev["tid"].(float64)] = args["name"].(string)
+			}
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("Complete event missing dur: %v", ev)
+			}
+		case "i":
+			if s, _ := ev["s"].(string); s != "t" {
+				t.Errorf("Instant event scope = %q, want \"t\"", s)
+			}
+		default:
+			t.Errorf("unexpected ph %q", ph)
+		}
+	}
+	if !procNamed {
+		t.Error("no process_name metadata event")
+	}
+	// Every registered track must be named, and event tids must
+	// resolve to registered tracks.
+	for id, name := range tr.Tracks() {
+		if named[float64(id)] != name {
+			t.Errorf("tid %d named %q, want %q", id, named[float64(id)], name)
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" {
+			continue
+		}
+		if _, ok := named[ev["tid"].(float64)]; !ok {
+			t.Errorf("event on unregistered tid %v", ev["tid"])
+		}
+	}
+}
+
+func TestWriteChromeEventsSortedByCycle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenTracer(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	last := -1.0
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" {
+			continue
+		}
+		ts := ev["ts"].(float64)
+		if ts < last {
+			t.Fatalf("events not sorted: ts %v after %v", ts, last)
+		}
+		last = ts
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+// ring is a fixed-capacity circular event buffer. When full, each
+// push overwrites the oldest event and increments dropped; a
+// zero-capacity ring drops everything. Keeping the newest events is
+// the right policy for a trace: the interesting window is almost
+// always the end of the run (or the ring is sized to hold all of it).
+type ring struct {
+	buf  []Event
+	head int // next write position
+	full bool
+	// dropped counts events discarded: overwritten on wraparound, or
+	// refused outright at capacity 0.
+	dropped uint64
+}
+
+func newRing(capacity int) ring {
+	if capacity <= 0 {
+		return ring{}
+	}
+	return ring{buf: make([]Event, capacity)}
+}
+
+func (r *ring) push(ev Event) {
+	if len(r.buf) == 0 {
+		r.dropped++
+		return
+	}
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.head] = ev
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+		r.full = true
+	}
+}
+
+func (r *ring) len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.head
+}
+
+// snapshot copies the held events out oldest-first.
+func (r *ring) snapshot() []Event {
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.head]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
