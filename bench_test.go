@@ -15,6 +15,7 @@ import (
 
 	"fdt/internal/core"
 	"fdt/internal/experiments"
+	"fdt/internal/invariant"
 	"fdt/internal/machine"
 	"fdt/internal/trace"
 	"fdt/internal/workloads"
@@ -212,6 +213,31 @@ func BenchmarkSimulatorThroughputTraced(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(emitted)/float64(b.N), "trace-events/op")
+}
+
+// BenchmarkSimulatorThroughputChecked is BenchmarkSimulatorThroughput
+// with the runtime invariant checker armed (conservation ledgers,
+// queue audits, coherence walk, controller re-derivation) — the cost
+// ceiling of -check. The untraced, unchecked benchmark is the one
+// held to the <=2% no-instrumentation regression budget.
+func BenchmarkSimulatorThroughputChecked(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	info, _ := workloads.ByName("ed")
+	var events, checks uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.MustNew(cfg)
+		ck := invariant.New()
+		m.AttachChecker(ck)
+		core.NewController(core.Static{N: 8}).Run(m, info.Factory(m))
+		if err := ck.Err(); err != nil {
+			b.Fatal(err)
+		}
+		events += m.Eng.Events()
+		checks += ck.Checks()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(checks)/float64(b.N), "checks/op")
 }
 
 // BenchmarkAdaptivePhaseShift times the phase-adaptive pipeline on the

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -33,14 +34,24 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable command body: flag errors and unknown
+// experiment names return 2, unwritable outputs return 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdtreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		only     = flag.String("only", "", "run a single experiment: table1, table2, fig2, fig4, fig8, fig9, fig10, fig12, fig13, fig14, fig15, smt, trainingcost, ablations")
-		fast     = flag.Bool("fast", false, "sweep a reduced set of thread counts")
-		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
-		jsonDir  = flag.String("json", "", "directory to write per-experiment JSON files into")
-		parallel = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		only     = fs.String("only", "", "run a single experiment: table1, table2, fig2, fig4, fig8, fig9, fig10, fig12, fig13, fig14, fig15, smt, trainingcost, ablations")
+		fast     = fs.Bool("fast", false, "sweep a reduced set of thread counts")
+		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files into")
+		jsonDir  = fs.String("json", "", "directory to write per-experiment JSON files into")
+		parallel = fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	runner.SetWorkers(*parallel)
 	o := experiments.DefaultOptions()
@@ -90,8 +101,8 @@ func main() {
 			continue
 		}
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "fdtreport:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fdtreport:", err)
+			return 1
 		}
 	}
 
@@ -104,13 +115,13 @@ func main() {
 		found = true
 		start := time.Now()
 		text, csv, data := r.run()
-		fmt.Println(text)
-		fmt.Printf("  [%s took %.1fs]\n\n", r.name, time.Since(start).Seconds())
+		fmt.Fprintln(stdout, text)
+		fmt.Fprintf(stdout, "  [%s took %.1fs]\n\n", r.name, time.Since(start).Seconds())
 		if *csvDir != "" && csv != "" {
 			path := filepath.Join(*csvDir, r.name+".csv")
 			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "fdtreport:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "fdtreport:", err)
+				return 1
 			}
 		}
 		if *jsonDir != "" && data != nil {
@@ -119,14 +130,14 @@ func main() {
 				err = os.WriteFile(filepath.Join(*jsonDir, r.name+".json"), append(blob, '\n'), 0o644)
 			}
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "fdtreport:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "fdtreport:", err)
+				return 1
 			}
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "fdtreport: unknown experiment %q\n", *only)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "fdtreport: unknown experiment %q\n", *only)
+		return 2
 	}
 
 	hits, misses := core.RunCacheStats()
@@ -135,6 +146,7 @@ func main() {
 		rate = 100 * float64(hits) / float64(hits+misses)
 	}
 	entries, bytes, evictions := core.RunCacheUsage()
-	fmt.Printf("[%d workers; run cache: %d hits / %d misses (%.1f%% hit rate), %d entries ~%.1f KiB, %d evictions]\n",
+	fmt.Fprintf(stdout, "[%d workers; run cache: %d hits / %d misses (%.1f%% hit rate), %d entries ~%.1f KiB, %d evictions]\n",
 		runner.Workers(), hits, misses, rate, entries, float64(bytes)/1024, evictions)
+	return 0
 }

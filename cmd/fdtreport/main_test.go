@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{"-only", "nosuchfig"},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want exit 2; stderr: %s", args, code, errb.String())
+		}
+	}
+}
+
+func TestTablesOnly(t *testing.T) {
+	// table1/table2 render without simulating anything.
+	for _, name := range []string{"table1", "table2"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-only", name}, &out, &errb); code != 0 {
+			t.Fatalf("-only %s: exit %d, stderr: %s", name, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "Table") {
+			t.Errorf("-only %s output missing a table header:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestFig2CSVAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	args := []string{"-only", "fig2", "-fast", "-csv", dir, "-json", dir}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Figure 2") {
+		t.Errorf("report missing the figure rendition:\n%s", out.String())
+	}
+
+	csv, err := os.ReadFile(filepath.Join(dir, "fig2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "workload,") {
+		t.Errorf("fig2.csv missing header: %q", string(csv[:min(len(csv), 40)]))
+	}
+
+	blob, err := os.ReadFile(filepath.Join(dir, "fig2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fig struct {
+		Curve struct {
+			Points []struct {
+				Threads int
+				Cycles  uint64
+			}
+		}
+	}
+	if err := json.Unmarshal(blob, &fig); err != nil {
+		t.Fatalf("fig2.json is not valid JSON: %v", err)
+	}
+	if len(fig.Curve.Points) == 0 {
+		t.Error("fig2.json has no sweep points")
+	}
+}

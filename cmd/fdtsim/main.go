@@ -9,53 +9,68 @@
 //	fdtsim -workload ed -policy static -threads 32
 //	fdtsim -workload convert -policy bat -bandwidth 0.5
 //	fdtsim -workload ed -policy bat -trace ed.trace.json
+//	fdtsim -workload isort -check
 //	fdtsim -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"fdt/internal/core"
+	"fdt/internal/invariant"
 	"fdt/internal/machine"
 	"fdt/internal/trace"
 	"fdt/internal/workloads"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable command body: flag errors and unknown inputs
+// return 2, simulation-level failures (verification, violated
+// invariants, unwritable outputs) return 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdtsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload  = flag.String("workload", "pagemine", "workload name (see -list)")
-		policy    = flag.String("policy", "sat+bat", "threading policy: sat, bat, sat+bat, static")
-		threads   = flag.Int("threads", 0, "thread count for -policy static (0 = all cores)")
-		cores     = flag.Int("cores", 32, "cores on the simulated chip")
-		bandwidth = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
-		verify    = flag.Bool("verify", true, "verify the workload's computed results")
-		list      = flag.Bool("list", false, "list workloads and exit")
-		dumpCtrs  = flag.Bool("counters", false, "dump the machine's counter set")
-		sparkline = flag.Bool("sparkline", false, "sample the run and print bus/active-core sparklines")
-		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		workload  = fs.String("workload", "pagemine", "workload name (see -list)")
+		policy    = fs.String("policy", "sat+bat", "threading policy: sat, bat, sat+bat, static")
+		threads   = fs.Int("threads", 0, "thread count for -policy static (0 = all cores)")
+		cores     = fs.Int("cores", 32, "cores on the simulated chip")
+		bandwidth = fs.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
+		verify    = fs.Bool("verify", true, "verify the workload's computed results")
+		list      = fs.Bool("list", false, "list workloads and exit")
+		dumpCtrs  = fs.Bool("counters", false, "dump the machine's counter set")
+		sparkline = fs.Bool("sparkline", false, "sample the run and print bus/active-core sparklines")
+		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		check     = fs.Bool("check", false, "arm the runtime invariant checker (conservation, queueing, coherence, controller equations)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Printf("%-10s %-12s %-28s %s\n", "NAME", "CLASS", "PROBLEM", "INPUT")
+		fmt.Fprintf(stdout, "%-10s %-12s %-28s %s\n", "NAME", "CLASS", "PROBLEM", "INPUT")
 		for _, info := range workloads.All() {
-			fmt.Printf("%-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
+			fmt.Fprintf(stdout, "%-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
 		}
-		return
+		return 0
 	}
 
 	info, ok := workloads.ByName(*workload)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "fdtsim: unknown workload %q (try -list)\n", *workload)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "fdtsim: unknown workload %q (try -list)\n", *workload)
+		return 2
 	}
 	pol, err := parsePolicy(*policy, *threads)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fdtsim:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "fdtsim:", err)
+		return 2
 	}
 
 	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
@@ -69,28 +84,33 @@ func main() {
 		tr = trace.New(1<<19, trace.CatMem|trace.CatSync|trace.CatCtl)
 		m.AttachTracer(tr)
 	}
+	var ck *invariant.Checker
+	if *check {
+		ck = invariant.New()
+		m.AttachChecker(ck)
+	}
 	w := info.Factory(m)
 	res := core.NewController(pol).Run(m, w)
 
-	fmt.Printf("workload   %s (%s)\n", res.Workload, info.Class)
-	fmt.Printf("policy     %s\n", res.Policy)
-	fmt.Printf("machine    %d cores, %.2gx bandwidth\n", *cores, *bandwidth)
-	fmt.Printf("exec time  %d cycles\n", res.TotalCycles)
-	fmt.Printf("power      %.2f avg active cores\n", res.AvgActiveCores)
-	fmt.Printf("bus busy   %d cycles (%.1f%% of run)\n",
+	fmt.Fprintf(stdout, "workload   %s (%s)\n", res.Workload, info.Class)
+	fmt.Fprintf(stdout, "policy     %s\n", res.Policy)
+	fmt.Fprintf(stdout, "machine    %d cores, %.2gx bandwidth\n", *cores, *bandwidth)
+	fmt.Fprintf(stdout, "exec time  %d cycles\n", res.TotalCycles)
+	fmt.Fprintf(stdout, "power      %.2f avg active cores\n", res.AvgActiveCores)
+	fmt.Fprintf(stdout, "bus busy   %d cycles (%.1f%% of run)\n",
 		res.BusBusyCycles, 100*float64(res.BusBusyCycles)/float64(res.TotalCycles))
-	fmt.Printf("avgthreads %.1f\n", res.AvgThreads())
+	fmt.Fprintf(stdout, "avgthreads %.1f\n", res.AvgThreads())
 	for _, k := range res.Kernels {
 		d := k.Decision
-		fmt.Printf("kernel %-22s threads=%-3d pcs=%-3d pbw=%-3d csfrac=%.3f%% bu1=%.2f%% train=%d iters (%d cyc) total=%d cyc\n",
+		fmt.Fprintf(stdout, "kernel %-22s threads=%-3d pcs=%-3d pbw=%-3d csfrac=%.3f%% bu1=%.2f%% train=%d iters (%d cyc) total=%d cyc\n",
 			k.Kernel, d.Threads, d.PCS, d.PBW, 100*d.CSFraction, 100*d.BusUtil1, k.TrainIters, k.TrainCycles, k.Cycles)
 	}
 
 	if *dumpCtrs {
-		fmt.Printf("counters   %s\n", m.Ctrs)
+		fmt.Fprintf(stdout, "counters   %s\n", m.Ctrs)
 	}
 	if samples != nil {
-		fmt.Println(samples)
+		fmt.Fprintln(stdout, samples)
 	}
 	if tr != nil {
 		meta := map[string]string{
@@ -101,23 +121,31 @@ func main() {
 			"total_cycles": fmt.Sprintf("%d", res.TotalCycles),
 		}
 		if err := writeChromeFile(*traceOut, tr, meta); err != nil {
-			fmt.Fprintln(os.Stderr, "fdtsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "fdtsim:", err)
+			return 1
 		}
-		fmt.Printf("trace      %d events (%d dropped) -> %s\n", tr.Len(), tr.Dropped(), *traceOut)
+		fmt.Fprintf(stdout, "trace      %d events (%d dropped) -> %s\n", tr.Len(), tr.Dropped(), *traceOut)
+	}
+	if *check {
+		fmt.Fprintf(stdout, "invariants %s\n", ck.Report())
+		if err := ck.Err(); err != nil {
+			fmt.Fprintln(stderr, "fdtsim:", err)
+			return 1
+		}
 	}
 
 	if *verify {
 		if v, ok := w.(workloads.Verifier); ok {
 			if err := v.Verify(); err != nil {
-				fmt.Printf("verify     FAIL: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stdout, "verify     FAIL: %v\n", err)
+				return 1
 			}
-			fmt.Println("verify     ok")
+			fmt.Fprintln(stdout, "verify     ok")
 		} else {
-			fmt.Println("verify     (workload has no verifier)")
+			fmt.Fprintln(stdout, "verify     (workload has no verifier)")
 		}
 	}
+	return 0
 }
 
 func writeChromeFile(path string, tr *trace.Tracer, meta map[string]string) error {

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListWorkloads(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"NAME", "pagemine", "ed", "mtwister"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "nosuch"},
+		{"-policy", "nosuch"},
+		{"-nosuchflag"},
+		{"-threads", "notanumber"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want exit 2; stderr: %s", args, code, errb.String())
+		}
+	}
+}
+
+func TestRunReportAndCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated run")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-workload", "pagemine", "-policy", "static", "-threads", "4",
+		"-cores", "8", "-check", "-sparkline", "-counters"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"workload   pagemine", "exec time", "power",
+		"invariants ok (", "verify     ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestTraceOutputParses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated run")
+	}
+	path := filepath.Join(t.TempDir(), "out.trace.json")
+	var out, errb bytes.Buffer
+	args := []string{"-workload", "ed", "-policy", "static", "-threads", "2",
+		"-cores", "8", "-trace", path}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("-trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("-trace output has no events")
+	}
+	if doc.OtherData["workload"] != "ed" {
+		t.Errorf("trace metadata workload = %q, want \"ed\"", doc.OtherData["workload"])
+	}
+}

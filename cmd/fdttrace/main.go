@@ -10,6 +10,7 @@
 //	fdttrace -workload pagemine -policy sat+bat -o pagemine.trace.json
 //	fdttrace -workload ed -policy static -threads 8 -timeline ed.timeline.txt
 //	fdttrace -workload convert -policy bat -events all -buf 1048576
+//	fdttrace -workload isort -check
 //	fdttrace -list
 //
 // The exported JSON has one track per core, the off-chip bus, each
@@ -22,55 +23,75 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"fdt/internal/core"
+	"fdt/internal/invariant"
 	"fdt/internal/machine"
 	"fdt/internal/trace"
 	"fdt/internal/workloads"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable command body: flag errors and unknown inputs
+// return 2, write failures and violated invariants return 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdttrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload  = flag.String("workload", "phaseshift", "workload name (see -list)")
-		policy    = flag.String("policy", "adaptive", "threading policy: sat, bat, sat+bat, static, adaptive")
-		threads   = flag.Int("threads", 0, "thread count for -policy static (0 = all cores)")
-		cores     = flag.Int("cores", 32, "cores on the simulated chip")
-		bandwidth = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
-		out       = flag.String("o", "trace.json", "Chrome trace-event JSON output path")
-		timeline  = flag.String("timeline", "", "also write a plain-text utilization timeline to this path")
-		interval  = flag.Uint64("interval", 10000, "timeline bin width in cycles")
-		events    = flag.String("events", "mem,sync,ctl", "traced categories, comma-separated: sim, mem, sync, ctl (or all)")
-		bufCap    = flag.Int("buf", 1<<19, "trace ring-buffer capacity in events (newest kept on overflow)")
-		list      = flag.Bool("list", false, "list workloads and exit")
+		workload  = fs.String("workload", "phaseshift", "workload name (see -list)")
+		policy    = fs.String("policy", "adaptive", "threading policy: sat, bat, sat+bat, static, adaptive")
+		threads   = fs.Int("threads", 0, "thread count for -policy static (0 = all cores)")
+		cores     = fs.Int("cores", 32, "cores on the simulated chip")
+		bandwidth = fs.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
+		out       = fs.String("o", "trace.json", "Chrome trace-event JSON output path")
+		timeline  = fs.String("timeline", "", "also write a plain-text utilization timeline to this path")
+		interval  = fs.Uint64("interval", 10000, "timeline bin width in cycles")
+		events    = fs.String("events", "mem,sync,ctl", "traced categories, comma-separated: sim, mem, sync, ctl (or all)")
+		bufCap    = fs.Int("buf", 1<<19, "trace ring-buffer capacity in events (newest kept on overflow)")
+		list      = fs.Bool("list", false, "list workloads and exit")
+		check     = fs.Bool("check", false, "arm the runtime invariant checker (conservation, queueing, coherence, controller equations)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Printf("%-10s %-12s %-28s %s\n", "NAME", "CLASS", "PROBLEM", "INPUT")
+		fmt.Fprintf(stdout, "%-10s %-12s %-28s %s\n", "NAME", "CLASS", "PROBLEM", "INPUT")
 		for _, info := range workloads.All() {
-			fmt.Printf("%-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
+			fmt.Fprintf(stdout, "%-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
 		}
 		for _, info := range workloads.Extras() {
-			fmt.Printf("%-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
+			fmt.Fprintf(stdout, "%-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
 		}
-		return
+		return 0
 	}
 
 	info, ok := workloads.ByName(*workload)
 	if !ok {
-		fatalf("unknown workload %q (try -list)", *workload)
+		fmt.Fprintf(stderr, "fdttrace: unknown workload %q (try -list)\n", *workload)
+		return 2
 	}
 	mask, err := parseCategories(*events)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintln(stderr, "fdttrace:", err)
+		return 2
 	}
 
 	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
 	m := machine.MustNew(cfg)
 	tr := trace.New(*bufCap, mask)
 	m.AttachTracer(tr)
+	var ck *invariant.Checker
+	if *check {
+		ck = invariant.New()
+		m.AttachChecker(ck)
+	}
 	w := info.Factory(m)
 
 	var res core.RunResult
@@ -80,7 +101,8 @@ func main() {
 	default:
 		pol, err := parsePolicy(*policy, *threads)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintln(stderr, "fdttrace:", err)
+			return 2
 		}
 		res = core.NewController(pol).Run(m, w)
 	}
@@ -93,30 +115,40 @@ func main() {
 		"total_cycles": fmt.Sprintf("%d", res.TotalCycles),
 	}
 	if err := writeChromeFile(*out, tr, meta); err != nil {
-		fatalf("%v", err)
+		fmt.Fprintln(stderr, "fdttrace:", err)
+		return 1
 	}
 	if *timeline != "" {
 		if err := writeTimelineFile(*timeline, tr, *interval); err != nil {
-			fatalf("%v", err)
+			fmt.Fprintln(stderr, "fdttrace:", err)
+			return 1
 		}
 	}
 
-	fmt.Printf("workload   %s under %s: %d cycles, %.2f avg active cores\n",
+	fmt.Fprintf(stdout, "workload   %s under %s: %d cycles, %.2f avg active cores\n",
 		res.Workload, policyLabel(*policy, res.Policy), res.TotalCycles, res.AvgActiveCores)
 	for _, k := range res.Kernels {
 		if k.Retrains > 0 {
-			fmt.Printf("kernel     %s: %d phases (%d retrains)\n", k.Kernel, len(k.Phases), k.Retrains)
+			fmt.Fprintf(stdout, "kernel     %s: %d phases (%d retrains)\n", k.Kernel, len(k.Phases), k.Retrains)
 		}
 	}
-	fmt.Printf("trace      %d events captured (%d emitted, %d dropped; categories %s) -> %s\n",
+	fmt.Fprintf(stdout, "trace      %d events captured (%d emitted, %d dropped; categories %s) -> %s\n",
 		tr.Len(), tr.Emitted(), tr.Dropped(), mask, *out)
 	if *timeline != "" {
-		fmt.Printf("timeline   interval %d cycles -> %s\n", *interval, *timeline)
+		fmt.Fprintf(stdout, "timeline   interval %d cycles -> %s\n", *interval, *timeline)
 	}
 	if tr.Dropped() > 0 {
-		fmt.Fprintf(os.Stderr, "fdttrace: ring buffer overflowed: %d events dropped (oldest first); raise -buf or narrow -events\n",
+		fmt.Fprintf(stderr, "fdttrace: ring buffer overflowed: %d events dropped (oldest first); raise -buf or narrow -events\n",
 			tr.Dropped())
 	}
+	if *check {
+		fmt.Fprintf(stdout, "invariants %s\n", ck.Report())
+		if err := ck.Err(); err != nil {
+			fmt.Fprintln(stderr, "fdttrace:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 // policyLabel names the effective policy: the adaptive pseudo-policy
@@ -192,9 +224,4 @@ func parsePolicy(name string, threads int) (core.Policy, error) {
 	default:
 		return nil, fmt.Errorf("unknown policy %q (want sat, bat, sat+bat, static or adaptive)", name)
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "fdttrace: "+format+"\n", args...)
-	os.Exit(2)
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListIncludesExtras(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	// Table 2 plus the extras registry (the phased stress workload).
+	for _, want := range []string{"pagemine", "phaseshift"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "nosuch"},
+		{"-policy", "nosuch", "-workload", "ed"},
+		{"-events", "nosuchcat"},
+		{"-events", ""},
+		{"-nosuchflag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want exit 2; stderr: %s", args, code, errb.String())
+		}
+	}
+}
+
+func TestTraceAndTimelineOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated run")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.json")
+	timelinePath := filepath.Join(dir, "t.txt")
+	var out, errb bytes.Buffer
+	args := []string{"-workload", "ed", "-policy", "static", "-threads", "2",
+		"-cores", "8", "-events", "all", "-o", tracePath, "-timeline", timelinePath, "-check"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "invariants ok (") {
+		t.Errorf("report missing checker verdict in:\n%s", out.String())
+	}
+
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace output has no events")
+	}
+
+	tl, err := os.ReadFile(timelinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) == 0 {
+		t.Error("timeline output is empty")
+	}
+}

@@ -160,6 +160,7 @@ func (ctl *Controller) Run(m *machine.Machine, w Workload) RunResult {
 			res.Kernels = append(res.Kernels, ctl.runKernel(c, k))
 		}
 	})
+	m.FinishCheck()
 	res.TotalCycles = m.Eng.Now()
 	res.AvgActiveCores = m.Power.AverageActiveCores(res.TotalCycles)
 	res.BusBusyCycles = m.Ctrs.Counter(counters.BusBusyCycles).Read()
@@ -254,11 +255,14 @@ func (ctl *Controller) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 // runTrainOnce is Fig 7's three-stage flow: train on a peeled prefix,
 // estimate once, execute the remainder as a single chunk.
 func (ctl *Controller) runTrainOnce(c *thread.Ctx, k Kernel, n, cores int, start uint64, ct ctlTrace) KernelResult {
+	cc := newCtlCheck(c.Machine())
+	cc.atDecision(c, start)
 	out := Sampler{Params: ctl.Params}.Sample(c, k, ctl.Policy, 0, n)
-	d, _ := Estimator{Params: ctl.Params}.Estimate(ctl.Policy, out, cores)
+	d, tr := Estimator{Params: ctl.Params}.Estimate(ctl.Policy, out, cores)
 	trainCycles := c.CPU.CycleCount() - start
 	ct.span("sample", k.Name(), start, c.CPU.CycleCount(), uint64(out.Train.Iters), 0, 0)
 	ct.decision(k.Name(), c.CPU.CycleCount(), d)
+	cc.decision(ctl.Policy, tr, cores, d, c.CPU.CycleCount())
 	execStart := c.CPU.CycleCount()
 	Executor{}.Execute(c, k, d.Threads, out.Next, n)
 	ct.span("execute", k.Name(), execStart, c.CPU.CycleCount(), uint64(d.Threads), uint64(out.Next), uint64(n))
@@ -282,16 +286,19 @@ func (ctl *Controller) runAdaptive(c *thread.Ctx, k Kernel, n, cores int, start 
 	sampler := Sampler{Params: ctl.Params}
 	estimator := Estimator{Params: ctl.Params}
 
+	cc := newCtlCheck(c.Machine())
 	kr := KernelResult{Kernel: k.Name()}
 	iter := 0
 	trigger := ""
 	for iter < n {
 		phaseStart := c.CPU.CycleCount()
+		cc.atDecision(c, phaseStart)
 		out := sampler.Sample(c, k, ctl.Policy, iter, n)
-		d, _ := estimator.Estimate(ctl.Policy, out, cores)
+		d, tr := estimator.Estimate(ctl.Policy, out, cores)
 		trainCycles := c.CPU.CycleCount() - phaseStart
 		ct.span("sample", k.Name(), phaseStart, c.CPU.CycleCount(), uint64(out.Train.Iters), uint64(iter), 0)
 		ct.decision(k.Name(), c.CPU.CycleCount(), d)
+		cc.decision(ctl.Policy, tr, cores, d, c.CPU.CycleCount())
 
 		var stop int
 		var dr *Drift

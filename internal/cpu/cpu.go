@@ -9,6 +9,7 @@
 package cpu
 
 import (
+	"fdt/internal/invariant"
 	"fdt/internal/mem"
 	"fdt/internal/sim"
 )
@@ -23,6 +24,11 @@ type CPU struct {
 	// share this core (SMT): co-resident contexts divide the issue
 	// width, so compute slows by that factor.
 	load func() int
+
+	// led, when set, charges every cycle the CPU advances to the
+	// context's conservation ledger: compute to Busy, memory-access
+	// stalls to Stall. Nil is the disabled harness.
+	led *invariant.Ledger
 
 	instret uint64
 	loads   uint64
@@ -56,6 +62,10 @@ func (c *CPU) Instret() uint64 { return c.instret }
 // field). A nil probe — the default — models a dedicated core.
 func (c *CPU) SetContention(load func() int) { c.load = load }
 
+// SetLedger installs the context's conservation ledger (see the led
+// field). Nil — the default — disables the accounting.
+func (c *CPU) SetLedger(l *invariant.Ledger) { c.led = l }
+
 // slowdown reports the current compute derating from SMT sharing.
 func (c *CPU) slowdown() uint64 {
 	if c.load == nil {
@@ -73,7 +83,11 @@ func (c *CPU) Compute(cycles uint64) {
 		return
 	}
 	c.instret += cycles * c.width
-	c.proc.Advance(cycles * c.slowdown())
+	d := cycles * c.slowdown()
+	c.proc.Advance(d)
+	if c.led != nil {
+		c.led.Busy += d
+	}
 }
 
 // Exec retires instrs ALU instructions at the pipeline's issue width.
@@ -82,18 +96,34 @@ func (c *CPU) Exec(instrs uint64) {
 		return
 	}
 	c.instret += instrs
-	c.proc.Advance((instrs*c.slowdown() + c.width - 1) / c.width)
+	d := (instrs*c.slowdown() + c.width - 1) / c.width
+	c.proc.Advance(d)
+	if c.led != nil {
+		c.led.Busy += d
+	}
 }
 
 // Load performs a data load from addr, stalling for the full access.
 func (c *CPU) Load(addr uint64) {
 	c.loads++
+	if c.led != nil {
+		t0 := c.proc.Now()
+		c.port.Load(c.proc, addr)
+		c.led.Stall += c.proc.Now() - t0
+		return
+	}
 	c.port.Load(c.proc, addr)
 }
 
 // Store performs a data store to addr.
 func (c *CPU) Store(addr uint64) {
 	c.stores++
+	if c.led != nil {
+		t0 := c.proc.Now()
+		c.port.Store(c.proc, addr)
+		c.led.Stall += c.proc.Now() - t0
+		return
+	}
 	c.port.Store(c.proc, addr)
 }
 
@@ -125,6 +155,15 @@ func (c *CPU) StoreRange(base uint64, bytes int) {
 	line := uint64(c.port.LineBytes())
 	first := base &^ (line - 1)
 	last := (base + uint64(bytes) - 1) &^ (line - 1)
+	if c.led != nil {
+		t0 := c.proc.Now()
+		for a := first; a <= last; a += line {
+			c.stores++
+			c.port.StoreStream(c.proc, a)
+		}
+		c.led.Stall += c.proc.Now() - t0
+		return
+	}
 	for a := first; a <= last; a += line {
 		c.stores++
 		c.port.StoreStream(c.proc, a)

@@ -1,0 +1,251 @@
+package shape
+
+import (
+	"fmt"
+	"math"
+
+	"fdt/internal/core"
+	"fdt/internal/experiments"
+	"fdt/internal/workloads"
+)
+
+// Assertion is one named, machine-checked figure-shape claim. The
+// Name is stable — EXPERIMENTS.md cites it next to the prose claim it
+// encodes — and the Claim restates the prose so a failure message is
+// self-contained. Heavy assertions re-run the expensive experiments
+// (oracle sweeps, page-size sweeps) and are skipped under -short; the
+// fast suite still covers every curve family.
+type Assertion struct {
+	Name  string
+	Claim string
+	Heavy bool
+	Check func(o experiments.Options) error
+}
+
+// Assertions returns the full registry in figure order.
+func Assertions() []Assertion {
+	return []Assertion{
+		{
+			Name:  "fig2-pagemine-valley",
+			Claim: "PageMine's execution time is U-shaped: it falls to an interior minimum at 2-8 threads and the 32-thread end rises at least 1.3x above it (Figure 2).",
+			Check: func(o experiments.Options) error {
+				return Valley(experiments.RunFig02(o).Curve, 2, 8, 1.3)
+			},
+		},
+		{
+			Name:  "fig4-ed-knee",
+			Claim: "ED's execution time flattens (no wall: end within 1.15x of the minimum), its bus saturates first at 6-12 threads, and single-thread bus utilization is 10-20% (Figure 4).",
+			Check: func(o experiments.Options) error {
+				c := experiments.RunFig04(o).Curve
+				if err := Flattens(c, 1.15); err != nil {
+					return err
+				}
+				if err := KneeWithin(c, 0.95, 6, 12); err != nil {
+					return err
+				}
+				if bu1 := c.Points[0].BusUtil; bu1 < 0.10 || bu1 > 0.20 {
+					return fmt.Errorf("%s: single-thread bus utilization %.2f, outside [0.10, 0.20]", c.Workload, bu1)
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "fig8-sat-in-valley",
+			Claim: "On every CS-limited panel, SAT lands within 25% of the sweep minimum and chooses 2-12 threads (Figure 8).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				for _, p := range experiments.RunFig08(o).Panels {
+					if err := WithinValley(p.Curve, p.SAT, 25); err != nil {
+						return err
+					}
+					if n := decidedThreads(p.SAT.Run); n < 2 || n > 12 {
+						return fmt.Errorf("%s: SAT chose %d threads, outside the CS-limited regime [2, 12]",
+							p.Curve.Workload, n)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "fig9-knee-monotone",
+			Claim: "PageMine's best thread count grows with page size and SAT's choice tracks the trend (Figure 9).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				f := experiments.RunFig09(o)
+				if err := NonDecreasing("fig9 best threads", f.BestThreads); err != nil {
+					return err
+				}
+				return NonDecreasing("fig9 SAT threads", f.SATThreads)
+			},
+		},
+		{
+			Name:  "fig10-sat-adapts",
+			Claim: "SAT picks more threads for 10KB pages than for 2.5KB pages and stays within 30% of each sweep minimum (Figure 10).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				f := experiments.RunFig10(o)
+				small, large := decidedThreads(f.SATSmall.Run), decidedThreads(f.SATLarge.Run)
+				if large <= small {
+					return fmt.Errorf("fig10: SAT chose %d threads for 2.5KB and %d for 10KB — no adaptation", small, large)
+				}
+				if err := WithinValley(f.Small, f.SATSmall, 30); err != nil {
+					return err
+				}
+				return WithinValley(f.Large, f.SATLarge, 30)
+			},
+		},
+		{
+			Name:  "fig12-bat-power",
+			Claim: "On every BW-limited panel, BAT saves at least 30% power versus all-cores (ED: at least 60%) while staying within 45% of the minimum time (Figure 12).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				f := experiments.RunFig12(o)
+				for _, p := range f.Panels {
+					if p.PowerSavingPct < 30 {
+						return fmt.Errorf("%s: BAT saves only %.0f%% power, want >= 30%%", p.Curve.Workload, p.PowerSavingPct)
+					}
+					if err := WithinValley(p.Curve, p.BAT, 45); err != nil {
+						return err
+					}
+				}
+				if ed := f.Panels[0]; ed.PowerSavingPct < 60 {
+					return fmt.Errorf("ed: BAT power saving %.0f%%, want >= 60%% (paper: 78%%)", ed.PowerSavingPct)
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "fig13-bat-tracks-bandwidth",
+			Claim: "BAT chooses more threads on a 2x-bandwidth bus than on a 0.5x bus (Figure 13).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				f := experiments.RunFig13(o)
+				half, double := decidedThreads(f.BATHalf.Run), decidedThreads(f.BATDouble.Run)
+				if double <= half {
+					return fmt.Errorf("fig13: BAT chose %d threads at 0.5x bandwidth and %d at 2x — no adaptation", half, double)
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "fig14-class-bands",
+			Claim: "FDT lands each workload class in its Figure-14 band: CS-limited time<0.9 & power<0.5, BW-limited power<0.65 & time<1.35, scalable time in [0.9, 1.15] & power>=0.85 at 32 threads; gmean time < 1.0 and gmean power < 0.6.",
+			Check: func(o experiments.Options) error {
+				f := experiments.RunFig14(o)
+				for _, r := range f.Rows {
+					var err error
+					switch r.Class {
+					case workloads.CSLimited:
+						if r.NormTime > 0.9 || r.NormPower > 0.5 {
+							err = fmt.Errorf("%s: CS-limited at time %.2f / power %.2f, want < 0.9 / < 0.5", r.Workload, r.NormTime, r.NormPower)
+						}
+					case workloads.BWLimited:
+						if r.NormPower > 0.65 || r.NormTime > 1.35 {
+							err = fmt.Errorf("%s: BW-limited at time %.2f / power %.2f, want < 1.35 / < 0.65", r.Workload, r.NormTime, r.NormPower)
+						}
+					case workloads.Scalable:
+						if r.NormTime < 0.9 || r.NormTime > 1.15 || r.NormPower < 0.85 || r.Threads != 32 {
+							err = fmt.Errorf("%s: scalable at time %.2f / power %.2f / %.0f threads, want ~1 / >= 0.85 / 32", r.Workload, r.NormTime, r.NormPower, r.Threads)
+						}
+					}
+					if err != nil {
+						return err
+					}
+				}
+				if f.GmeanTime >= 1.0 {
+					return fmt.Errorf("fig14: gmean time %.3f, want < 1.0 (paper: 0.83)", f.GmeanTime)
+				}
+				if f.GmeanPower >= 0.6 {
+					return fmt.Errorf("fig14: gmean power %.3f, want < 0.6 (paper: 0.41)", f.GmeanPower)
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "fig14-fdt-beats-parts",
+			Claim: "Combined SAT+BAT is never materially slower than the better of SAT alone and BAT alone: per workload within 1.15x, and at most 1.05x on geometric mean (Section 5.3).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				prod, n := 1.0, 0
+				for _, info := range workloads.All() {
+					fdt := core.RunPolicyKeyed(o.Cfg, info.Name, info.Factory, core.Combined{}).TotalCycles
+					sat := core.RunPolicyKeyed(o.Cfg, info.Name, info.Factory, core.SAT{}).TotalCycles
+					bat := core.RunPolicyKeyed(o.Cfg, info.Name, info.Factory, core.BAT{}).TotalCycles
+					best := sat
+					if bat < best {
+						best = bat
+					}
+					r := float64(fdt) / float64(best)
+					if r > 1.15 {
+						return fmt.Errorf("%s: SAT+BAT takes %.2fx the better single policy, want <= 1.15x", info.Name, r)
+					}
+					prod *= r
+					n++
+				}
+				if gmean := math.Pow(prod, 1/float64(n)); gmean > 1.05 {
+					return fmt.Errorf("fig14: SAT+BAT gmean %.3fx the better single policy, want <= 1.05x", gmean)
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "fig15-fdt-vs-oracle",
+			Claim: "FDT's gmean time stays within 1.35x of the offline oracle's, and on MTwister FDT uses less power than any static choice (Figure 15).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				f := experiments.RunFig15(o)
+				if err := RatioIn("fig15 gmean time vs oracle", f.GmeanFDTTime, f.GmeanOracleTime, 0, 1.35); err != nil {
+					return err
+				}
+				for _, r := range f.Rows {
+					if r.Workload == "mtwister" && r.FDTPower >= r.OraclePower {
+						return fmt.Errorf("mtwister: FDT power %.3f not below oracle %.3f (the Figure-15 headline)", r.FDTPower, r.OraclePower)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "adaptive-retrains-twice",
+			Claim: "On the phased workload, the adaptive controller re-trains exactly at both behaviour changes: two retrains, three phases, triggered by nothing/critical-section drift/bus drift in that order (Section 6).",
+			Check: func(o experiments.Options) error {
+				info, ok := workloads.ByName("phaseshift")
+				if !ok {
+					return fmt.Errorf("phaseshift workload not registered")
+				}
+				r := core.RunAdaptiveKeyed(o.Cfg, "phaseshift", info.Factory, core.Combined{}, core.DefaultMonitorParams())
+				if len(r.Kernels) != 1 {
+					return fmt.Errorf("phaseshift: %d kernels, want 1", len(r.Kernels))
+				}
+				k := r.Kernels[0]
+				if k.Retrains != 2 || len(k.Phases) != 3 {
+					return fmt.Errorf("phaseshift: %d retrains / %d phases, want 2 / 3", k.Retrains, len(k.Phases))
+				}
+				p := k.Phases
+				if p[0].Trigger != "" || p[1].Trigger != "cs" || p[2].Trigger != "bus" {
+					return fmt.Errorf("phaseshift: triggers %q/%q/%q, want \"\"/\"cs\"/\"bus\"", p[0].Trigger, p[1].Trigger, p[2].Trigger)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// ByName looks an assertion up by its stable name.
+func ByName(name string) (Assertion, bool) {
+	for _, a := range Assertions() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Assertion{}, false
+}
+
+// decidedThreads reports the controller's headline decision — the
+// first kernel's chosen team size.
+func decidedThreads(r core.RunResult) int {
+	if len(r.Kernels) == 0 {
+		return 0
+	}
+	return r.Kernels[0].Decision.Threads
+}

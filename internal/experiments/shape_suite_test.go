@@ -1,0 +1,41 @@
+package experiments_test
+
+// The fast shape suite: every registered figure-shape assertion runs
+// against the same reduced sweep the experiment tests use, sharing
+// their process-wide run cache (this external test package compiles
+// into the same test binary as the package's own tests). Heavy
+// assertions — the ones re-running oracle or page-size sweeps — are
+// skipped under -short, mirroring the experiment tests they shadow.
+// The full 1..32 sweep lives behind the fullsweep build tag in
+// shape_full_test.go.
+
+import (
+	"testing"
+
+	"fdt/internal/experiments"
+	"fdt/internal/experiments/shape"
+)
+
+// fastOptions mirrors testOptions in experiments_test.go: the
+// 13-point sweep that keeps tier-1 cheap while preserving every
+// curve's shape.
+func fastOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.SweepThreads = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 24, 32}
+	return o
+}
+
+func TestShapeSuite(t *testing.T) {
+	o := fastOptions()
+	for _, a := range shape.Assertions() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			if a.Heavy && testing.Short() {
+				t.Skip("heavy assertion (full experiment re-run)")
+			}
+			if err := a.Check(o); err != nil {
+				t.Errorf("claim: %s\nviolation: %v", a.Claim, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,161 @@
+// Package invariant implements the simulator's runtime self-checking
+// harness: a pluggable Checker that model layers consult at their
+// bookkeeping boundaries, using the same nil-safe, off-by-default
+// pattern as internal/trace — a machine without a checker attached
+// pays one predictable branch per check site.
+//
+// Checks are grouped by the phenomenon they guard:
+//
+//   - conservation: per-context busy + stall + sync + idle cycles must
+//     equal the context's occupancy window (ledger.go);
+//   - queueing: single-server resources (the off-chip bus, each DRAM
+//     bank) must account exactly the cycles they occupied, serve
+//     non-overlapping intervals, and satisfy Little's law (queue.go);
+//   - coherence: the MESI directory's single-writer/multi-reader rule,
+//     continuously, plus a quiescent directory-vs-cache walk;
+//   - sync: lock ownership and barrier generation monotonicity;
+//   - controller: every Estimate decision must satisfy Eq. 3/5/7 given
+//     its sampled counters, and re-decisions happen only at decision
+//     points.
+//
+// Each rule has a stable name ("bus-conservation", "dir-single-writer",
+// "ctl-eq7", ...) so mutation tests can assert that a specific injected
+// bug is caught by a specific invariant. Rule names are documented in
+// DESIGN.md Section 10.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+)
+
+// maxViolations caps stored violations: a systematically broken
+// invariant would otherwise record one violation per event. Further
+// failures are counted but not stored.
+const maxViolations = 64
+
+// Violation records one failed invariant check.
+type Violation struct {
+	// Rule is the stable invariant name (e.g. "bus-conservation").
+	Rule string
+	// Cycle is the simulated cycle at which the check ran (0 for
+	// checks that run outside the clock, e.g. directory transitions).
+	Cycle uint64
+	// Detail is the human-readable account of the discrepancy.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] @%d: %s", v.Rule, v.Cycle, v.Detail)
+}
+
+// Checker collects invariant check results for one simulation run.
+// All methods are nil-safe: a nil *Checker is the disabled harness and
+// every call on it is a no-op, so model code can hold and call one
+// unconditionally.
+type Checker struct {
+	checks     uint64
+	violations []Violation
+	truncated  uint64
+}
+
+// New returns an armed checker.
+func New() *Checker { return &Checker{} }
+
+// Enabled reports whether the harness is armed. Hot paths cache this
+// (or the derived audit pointers) the way trace emit sites cache their
+// category check.
+func (c *Checker) Enabled() bool { return c != nil }
+
+// Pass records n successful checks. Call it where a check ran and
+// held, so Checks() reflects coverage, not just failures.
+func (c *Checker) Pass(n uint64) {
+	if c != nil {
+		c.checks += n
+	}
+}
+
+// Failf records a violation of the named rule. It does not count a
+// check — call Pass for the check itself and Failf when it fails.
+func (c *Checker) Failf(rule string, cycle uint64, format string, args ...any) {
+	if c == nil {
+		return
+	}
+	if len(c.violations) >= maxViolations {
+		c.truncated++
+		return
+	}
+	c.violations = append(c.violations, Violation{
+		Rule:   rule,
+		Cycle:  cycle,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Checks reports how many invariant checks ran.
+func (c *Checker) Checks() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.checks
+}
+
+// Violations returns the recorded violations (at most maxViolations;
+// see Truncated for overflow).
+func (c *Checker) Violations() []Violation {
+	if c == nil {
+		return nil
+	}
+	return c.violations
+}
+
+// Truncated reports violations dropped past the storage cap.
+func (c *Checker) Truncated() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.truncated
+}
+
+// Violated reports whether rule has at least one recorded violation.
+func (c *Checker) Violated(rule string) bool {
+	if c == nil {
+		return false
+	}
+	for _, v := range c.violations {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns nil when every check passed, or an error summarizing the
+// recorded violations.
+func (c *Checker) Err() error {
+	if c == nil || len(c.violations) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant: %d violation(s) in %d checks", len(c.violations), c.checks)
+	if c.truncated > 0 {
+		fmt.Fprintf(&b, " (+%d truncated)", c.truncated)
+	}
+	for _, v := range c.violations {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Report renders a one-line status for CLI output: "ok (N checks)" or
+// the violation count.
+func (c *Checker) Report() string {
+	if c == nil {
+		return "disabled"
+	}
+	if len(c.violations) == 0 {
+		return fmt.Sprintf("ok (%d checks)", c.checks)
+	}
+	return fmt.Sprintf("%d VIOLATION(S) in %d checks", len(c.violations)+int(c.truncated), c.checks)
+}

@@ -1,0 +1,222 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilCheckerIsSafeAndDisabled(t *testing.T) {
+	var ck *Checker
+	if ck.Enabled() {
+		t.Fatal("nil checker reports enabled")
+	}
+	ck.Pass(3)
+	ck.Failf("rule", 1, "boom %d", 7)
+	if ck.Checks() != 0 || ck.Violations() != nil || ck.Truncated() != 0 {
+		t.Fatal("nil checker accumulated state")
+	}
+	if ck.Violated("rule") {
+		t.Fatal("nil checker reports a violation")
+	}
+	if ck.Err() != nil {
+		t.Fatal("nil checker reports an error")
+	}
+	if got := ck.Report(); got != "disabled" {
+		t.Fatalf("Report() = %q, want \"disabled\"", got)
+	}
+}
+
+func TestCheckerPassFailProtocol(t *testing.T) {
+	ck := New()
+	if !ck.Enabled() {
+		t.Fatal("armed checker reports disabled")
+	}
+	ck.Pass(2)
+	if ck.Checks() != 2 {
+		t.Fatalf("Checks() = %d, want 2", ck.Checks())
+	}
+	if ck.Err() != nil {
+		t.Fatalf("clean checker Err() = %v", ck.Err())
+	}
+	if !strings.HasPrefix(ck.Report(), "ok (") {
+		t.Fatalf("clean Report() = %q", ck.Report())
+	}
+
+	ck.Failf("bus-conservation", 42, "off by %d", 1)
+	if ck.Checks() != 2 {
+		t.Fatalf("Failf changed the check count: %d", ck.Checks())
+	}
+	if !ck.Violated("bus-conservation") {
+		t.Fatal("Violated misses the recorded rule")
+	}
+	if ck.Violated("other-rule") {
+		t.Fatal("Violated matches an unrecorded rule")
+	}
+	err := ck.Err()
+	if err == nil {
+		t.Fatal("Err() = nil after a violation")
+	}
+	for _, want := range []string{"bus-conservation", "@42", "off by 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Err() = %q, missing %q", err.Error(), want)
+		}
+	}
+	if !strings.Contains(ck.Report(), "VIOLATION") {
+		t.Fatalf("Report() = %q after a violation", ck.Report())
+	}
+}
+
+func TestCheckerViolationCap(t *testing.T) {
+	ck := New()
+	for i := 0; i < maxViolations+10; i++ {
+		ck.Failf("r", uint64(i), "x")
+	}
+	if got := len(ck.Violations()); got != maxViolations {
+		t.Fatalf("stored %d violations, want cap %d", got, maxViolations)
+	}
+	if ck.Truncated() != 10 {
+		t.Fatalf("Truncated() = %d, want 10", ck.Truncated())
+	}
+	if !strings.Contains(ck.Err().Error(), "truncated") {
+		t.Fatalf("Err() does not mention truncation: %v", ck.Err())
+	}
+}
+
+func TestNilLedgerIsSafe(t *testing.T) {
+	var l *Ledger
+	l.AddBusy(1)
+	l.AddStall(2)
+	l.AddSync(3)
+	l.AddIdle(4)
+	l.Reset()
+	if l.Total() != 0 {
+		t.Fatal("nil ledger accumulated cycles")
+	}
+	ck := New()
+	l.CheckConservation(ck, 0, 0, 100) // must not fail on nil
+	if ck.Err() != nil {
+		t.Fatalf("nil ledger produced a violation: %v", ck.Err())
+	}
+}
+
+func TestLedgerConservation(t *testing.T) {
+	l := &Ledger{}
+	l.AddBusy(10)
+	l.AddStall(20)
+	l.AddSync(5)
+	l.AddIdle(15)
+	if l.Total() != 50 {
+		t.Fatalf("Total() = %d, want 50", l.Total())
+	}
+
+	ck := New()
+	l.CheckConservation(ck, 3, 100, 150)
+	if ck.Err() != nil {
+		t.Fatalf("balanced ledger flagged: %v", ck.Err())
+	}
+
+	l.CheckConservation(ck, 3, 100, 151) // window 51 != total 50
+	if !ck.Violated("core-conservation") {
+		t.Fatal("unbalanced ledger not flagged")
+	}
+
+	l.Reset()
+	if l.Total() != 0 {
+		t.Fatal("Reset left cycles behind")
+	}
+}
+
+func TestQueueAuditCleanSchedule(t *testing.T) {
+	q := NewQueueAudit("q")
+	// Two back-to-back demand transfers and one posted one.
+	q.Record(0, 0, 10, false)
+	q.Record(5, 10, 20, false)
+	q.Record(12, 20, 30, true)
+	if q.Count() != 3 || q.ServiceSum() != 30 || q.WaitSum() != 5 {
+		t.Fatalf("sums = (%d, %d, %d), want (3, 30, 5)", q.Count(), q.ServiceSum(), q.WaitSum())
+	}
+	if q.Horizon() != 30 {
+		t.Fatalf("Horizon() = %d, want 30", q.Horizon())
+	}
+	ck := New()
+	q.Check(ck, 25, 30)
+	if ck.Err() != nil {
+		t.Fatalf("clean schedule flagged: %v", ck.Err())
+	}
+}
+
+func TestQueueAuditBusyMismatch(t *testing.T) {
+	q := NewQueueAudit("q")
+	q.Record(0, 0, 10, false)
+	ck := New()
+	q.Check(ck, 10, 9) // counter says 9, schedule says 10
+	if !ck.Violated("q-busy-audit") {
+		t.Fatal("busy mismatch not flagged")
+	}
+}
+
+func TestQueueAuditOverlap(t *testing.T) {
+	q := NewQueueAudit("q")
+	q.Record(0, 0, 10, false)
+	q.Record(0, 5, 15, false) // starts before the first finishes
+	ck := New()
+	q.Check(ck, 15, 20)
+	if !ck.Violated("q-exclusive") {
+		t.Fatal("overlapping service intervals not flagged")
+	}
+}
+
+func TestQueueAuditCapacity(t *testing.T) {
+	q := NewQueueAudit("q")
+	q.Record(0, 0, 10, false)
+	ck := New()
+	q.Check(ck, 8, 10) // fine: horizon extends past now
+	if ck.Violated("q-capacity") {
+		t.Fatal("work extending past the run end flagged")
+	}
+	ck2 := New()
+	q2 := NewQueueAudit("q")
+	q2.Record(0, 0, 5, false)
+	q2.Check(ck2, 8, 9) // 9 busy cycles cannot fit in horizon 8
+	if !ck2.Violated("q-capacity") {
+		t.Fatal("over-capacity accounting not flagged")
+	}
+}
+
+func TestQueueAuditLittleOrdering(t *testing.T) {
+	q := NewQueueAudit("q")
+	q.Record(10, 5, 20, false) // start before arrival: corrupt tuple
+	ck := New()
+	q.Check(ck, 20, 15)
+	if !ck.Violated("q-littles-law") {
+		t.Fatal("out-of-order transaction timeline not flagged")
+	}
+}
+
+func TestQueueAuditOverflowKeepsSums(t *testing.T) {
+	q := NewQueueAudit("q")
+	var serviceSum uint64
+	for i := uint64(0); i < auditCap+5; i++ {
+		q.Record(i*10, i*10, i*10+2, false)
+		serviceSum += 2
+	}
+	if q.Count() != auditCap+5 || q.ServiceSum() != serviceSum {
+		t.Fatalf("overflowed sums drifted: count %d service %d", q.Count(), q.ServiceSum())
+	}
+	// Shape checks are skipped past overflow, but the busy audit still
+	// runs on the exact sums.
+	ck := New()
+	q.Check(ck, (auditCap+5)*10, serviceSum+1)
+	if !ck.Violated("q-busy-audit") {
+		t.Fatal("busy audit stopped running after overflow")
+	}
+}
+
+func TestNilQueueAuditIsSafe(t *testing.T) {
+	var q *QueueAudit
+	q.Record(0, 0, 1, false)
+	if q.Count() != 0 || q.ServiceSum() != 0 || q.WaitSum() != 0 || q.Horizon() != 0 {
+		t.Fatal("nil audit accumulated state")
+	}
+	q.Check(New(), 10, 10) // must not panic
+}

@@ -1,0 +1,90 @@
+package invariant
+
+// Ledger partitions one hardware context's occupancy window into the
+// four ways a thread can spend cycles. The conservation invariant —
+// checked when the context is released — is
+//
+//	Busy + Stall + Sync + Idle == release cycle - occupy cycle.
+//
+// Every code path that advances a thread's clock must charge exactly
+// one bucket: compute charges Busy (internal/cpu), memory accesses
+// charge Stall (internal/cpu around its port calls), lock and barrier
+// waits charge Sync (internal/thread), and the master's park at a join
+// charges Idle. A path that advances time without charging a bucket —
+// the classic way simulators silently lose or double-count cycles —
+// breaks the equation and is caught at the next context release.
+//
+// All adders are nil-safe: a nil *Ledger is the disabled harness.
+type Ledger struct {
+	// Busy is compute time: cycles the pipeline retired instructions
+	// (including the SMT-contention derating, which is real occupancy).
+	Busy uint64
+	// Stall is memory time: cycles spent inside loads and stores, from
+	// L1 latency through ring, L3, bus and DRAM queueing.
+	Stall uint64
+	// Sync is synchronization time: cycles parked on a lock or barrier
+	// plus any wait for a resource grant inside Critical.
+	Sync uint64
+	// Idle is join time: cycles the master spends parked waiting for
+	// its workers at the end of a parallel region.
+	Idle uint64
+}
+
+// AddBusy charges compute cycles.
+func (l *Ledger) AddBusy(d uint64) {
+	if l != nil {
+		l.Busy += d
+	}
+}
+
+// AddStall charges memory-access cycles.
+func (l *Ledger) AddStall(d uint64) {
+	if l != nil {
+		l.Stall += d
+	}
+}
+
+// AddSync charges lock/barrier wait cycles.
+func (l *Ledger) AddSync(d uint64) {
+	if l != nil {
+		l.Sync += d
+	}
+}
+
+// AddIdle charges join-wait cycles.
+func (l *Ledger) AddIdle(d uint64) {
+	if l != nil {
+		l.Idle += d
+	}
+}
+
+// Total sums the four buckets.
+func (l *Ledger) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.Busy + l.Stall + l.Sync + l.Idle
+}
+
+// Reset zeroes the ledger for a context's next occupancy.
+func (l *Ledger) Reset() {
+	if l != nil {
+		*l = Ledger{}
+	}
+}
+
+// CheckConservation verifies the ledger against the context's
+// occupancy window and records the result on ck under the
+// "core-conservation" rule.
+func (l *Ledger) CheckConservation(ck *Checker, ctx int, occupied, released uint64) {
+	if l == nil || !ck.Enabled() {
+		return
+	}
+	window := released - occupied
+	ck.Pass(1)
+	if l.Total() != window {
+		ck.Failf("core-conservation", released,
+			"context %d: busy %d + stall %d + sync %d + idle %d = %d != occupancy window %d (occupied @%d)",
+			ctx, l.Busy, l.Stall, l.Sync, l.Idle, l.Total(), window, occupied)
+	}
+}

@@ -1,0 +1,94 @@
+package invariant_test
+
+// Mutation tests: deliberately broken builds, injected through test
+// hooks on the model structures, must each be caught by the NAMED
+// invariant that guards the broken bookkeeping (DESIGN.md Section 10).
+// Each test also runs an un-mutated control on the identical
+// configuration to prove the catch is the mutation's doing, not noise.
+//
+// These machines are built directly — never through the experiment run
+// cache — because a mutated machine's results must not be memoized for
+// clean runs (the fault knobs are not part of any cache key).
+
+import (
+	"testing"
+
+	"fdt/internal/core"
+	"fdt/internal/invariant"
+	"fdt/internal/machine"
+	"fdt/internal/workloads"
+)
+
+// mutationRun builds a checker-armed machine, lets mutate install a
+// fault on it, runs the workload under static threading, and returns
+// the checker.
+func mutationRun(t *testing.T, workload string, threads int, mutate func(m *machine.Machine)) *invariant.Checker {
+	t.Helper()
+	info, ok := workloads.ByName(workload)
+	if !ok {
+		t.Fatalf("unknown workload %q", workload)
+	}
+	m := machine.MustNew(machine.DefaultConfig().WithCores(8))
+	ck := invariant.New()
+	m.AttachChecker(ck)
+	if mutate != nil {
+		mutate(m)
+	}
+	core.NewController(core.Static{N: threads}).Run(m, info.Factory(m))
+	return ck
+}
+
+// TestMutationBusAccountingSkew under-accounts every bus transfer by
+// one cycle — the "transfer accounting off by one" regression. The
+// bus conservation identity (busy == transfers x cycles/line) must
+// name it.
+func TestMutationBusAccountingSkew(t *testing.T) {
+	control := mutationRun(t, "convert", 8, nil)
+	if err := control.Err(); err != nil {
+		t.Fatalf("control run not clean: %v", err)
+	}
+
+	ck := mutationRun(t, "convert", 8, func(m *machine.Machine) {
+		m.Mem.Bus.FaultAccountingSkew(1)
+	})
+	if !ck.Violated("bus-conservation") {
+		t.Fatalf("bus accounting skew not caught by bus-conservation; checker: %s", ck.Report())
+	}
+	if !ck.Violated("bus-busy-audit") {
+		t.Fatalf("bus accounting skew not caught by bus-busy-audit; checker: %s", ck.Report())
+	}
+}
+
+// TestMutationBusOccupancySkew stretches every transfer's bus
+// occupancy without changing what it accounts: the counter no longer
+// matches the observed schedule, so the queue audit must name it.
+// (This mutation also bends timing — the shape suite's companion test
+// lives in internal/experiments.)
+func TestMutationBusOccupancySkew(t *testing.T) {
+	ck := mutationRun(t, "convert", 8, func(m *machine.Machine) {
+		m.Mem.Bus.FaultOccupancySkew(4)
+	})
+	if !ck.Violated("bus-busy-audit") {
+		t.Fatalf("bus occupancy skew not caught by bus-busy-audit; checker: %s", ck.Report())
+	}
+}
+
+// TestMutationDirectoryDropDowngrade makes read misses forget to
+// downgrade a remote Modified owner — a coherence-protocol bug that
+// leaves a line Modified while other cores hold "shared" copies. The
+// MESI single-writer invariant must name it.
+func TestMutationDirectoryDropDowngrade(t *testing.T) {
+	// pagemine's threads share the histogram under a lock: cross-core
+	// read-after-write traffic guarantees remote-owner read misses.
+	control := mutationRun(t, "pagemine", 8, nil)
+	if err := control.Err(); err != nil {
+		t.Fatalf("control run not clean: %v", err)
+	}
+
+	ck := mutationRun(t, "pagemine", 8, func(m *machine.Machine) {
+		m.Mem.Dir.FaultDropDowngrade()
+	})
+	if !ck.Violated("dir-single-writer") {
+		t.Fatalf("dropped downgrade not caught by dir-single-writer; checker: %s", ck.Report())
+	}
+}

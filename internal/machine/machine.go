@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"fdt/internal/counters"
+	"fdt/internal/invariant"
 	"fdt/internal/mem"
 	"fdt/internal/power"
 	"fdt/internal/sim"
@@ -76,6 +77,11 @@ type Machine struct {
 	// threading runtime, the FDT controller — emit through it.
 	Trace *trace.Tracer
 
+	// Check is the machine's invariant checker, nil (all check sites
+	// no-op) until AttachChecker installs one. Layers that hold a
+	// Machine — the threading runtime, the FDT controller — consult it.
+	Check *invariant.Checker
+
 	// ctxBusy tracks hardware-context occupancy; coreLoad counts the
 	// occupied contexts per core; coreSince records when each core
 	// last became active (for the power integral).
@@ -85,6 +91,11 @@ type Machine struct {
 	// coreTracks caches per-core trace tracks for the threading
 	// runtime's synchronization spans.
 	coreTracks []trace.TrackID
+	// ledgers/occupiedAt hold per-context cycle-conservation ledgers
+	// for the invariant harness (nil when unchecked); each context's
+	// ledger is checked against its occupancy window at release.
+	ledgers    []invariant.Ledger
+	occupiedAt []uint64
 }
 
 // New builds a machine.
@@ -143,6 +154,41 @@ func (m *Machine) AttachTracer(t *trace.Tracer) {
 	}
 }
 
+// AttachChecker wires the invariant harness through the machine: the
+// memory system's queue audits and coherence checks plus the
+// per-context cycle-conservation ledgers. Call it after New and before
+// the run starts; attaching nil (or a disabled checker) is a no-op.
+// Like tracing, checking never perturbs the simulation — a checked run
+// and an unchecked run of the same configuration are cycle-identical.
+func (m *Machine) AttachChecker(ck *invariant.Checker) {
+	if !ck.Enabled() {
+		return
+	}
+	m.Check = ck
+	m.Mem.SetChecker(ck)
+	m.ledgers = make([]invariant.Ledger, len(m.ctxBusy))
+	m.occupiedAt = make([]uint64, len(m.ctxBusy))
+}
+
+// ContextLedger reports the conservation ledger for a hardware
+// context, or nil when the harness is disabled (a nil *Ledger is
+// no-op-safe).
+func (m *Machine) ContextLedger(ctx int) *invariant.Ledger {
+	if m.ledgers == nil {
+		return nil
+	}
+	return &m.ledgers[ctx]
+}
+
+// FinishCheck runs the machine's end-of-run invariants (the memory
+// system's conservation, queueing and coherence checks). Call it after
+// the workload completes, at quiescence.
+func (m *Machine) FinishCheck() {
+	if m.Check.Enabled() {
+		m.Mem.FinishCheck(m.Eng.Now())
+	}
+}
+
 // CoreTrack reports the trace track for a core's synchronization
 // spans. Only meaningful while a tracer with trace.CatSync is
 // attached (callers gate on m.Trace.Wants).
@@ -172,6 +218,10 @@ func (m *Machine) OccupyContext(ctx int, now uint64) (core int) {
 		panic(fmt.Sprintf("machine: context %d already occupied", ctx))
 	}
 	m.ctxBusy[ctx] = true
+	if m.ledgers != nil {
+		m.ledgers[ctx] = invariant.Ledger{}
+		m.occupiedAt[ctx] = now
+	}
 	core = m.CoreOf(ctx)
 	if m.coreLoad[core] == 0 {
 		m.coreSince[core] = now
@@ -188,6 +238,9 @@ func (m *Machine) ReleaseContext(ctx int, now uint64) {
 		panic(fmt.Sprintf("machine: releasing idle context %d", ctx))
 	}
 	m.ctxBusy[ctx] = false
+	if m.ledgers != nil {
+		m.ledgers[ctx].CheckConservation(m.Check, ctx, m.occupiedAt[ctx], now)
+	}
 	core := m.CoreOf(ctx)
 	m.coreLoad[core]--
 	if m.coreLoad[core] == 0 {

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fdt/internal/counters"
+	"fdt/internal/invariant"
 	"fdt/internal/sim"
 	"fdt/internal/trace"
 )
@@ -26,6 +27,20 @@ type Bus struct {
 	tr     *trace.Tracer
 	track  trace.TrackID
 	traced bool
+
+	// audit records per-transfer service intervals for the invariant
+	// harness; checked caches the nil test off the hot path.
+	audit   *invariant.QueueAudit
+	checked bool
+
+	// faultAccountingSkew and faultOccupancySkew are mutation-test
+	// hooks (see DESIGN.md Section 10): the first under-accounts every
+	// transfer's busy cycles without changing its occupancy, the second
+	// stretches the occupancy without changing the accounting. Both are
+	// deliberate bookkeeping bugs that the queueing invariants must
+	// catch; they are never set outside tests.
+	faultAccountingSkew uint64
+	faultOccupancySkew  uint64
 }
 
 // NewBus builds the off-chip bus and registers its counters
@@ -51,6 +66,47 @@ func (b *Bus) setTracer(t *trace.Tracer) {
 	b.traced = true
 }
 
+// setChecker arms the bus's invariant audit (called via
+// System.SetChecker).
+func (b *Bus) setChecker() {
+	b.audit = invariant.NewQueueAudit("bus")
+	b.checked = true
+}
+
+// finishCheck runs the bus's end-of-run invariants: the conservation
+// identity every transfer maintains — busy cycles == transactions x
+// cycles-per-line — plus the queue audit against the recorded
+// schedule.
+func (b *Bus) finishCheck(ck *invariant.Checker, now uint64) {
+	if !b.checked {
+		return
+	}
+	busy, txns := b.busy.Read(), b.txns.Read()
+	ck.Pass(1)
+	if busy != txns*b.perL {
+		ck.Failf("bus-conservation", now,
+			"busy cycles %d != %d transfers x %d cycles/line = %d",
+			busy, txns, b.perL, txns*b.perL)
+	}
+	ck.Pass(1)
+	if got := b.wait.Read(); got != b.audit.WaitSum() {
+		ck.Failf("bus-wait-audit", now,
+			"accounted wait cycles %d != observed queueing delay %d", got, b.audit.WaitSum())
+	}
+	b.audit.Check(ck, now, busy)
+}
+
+// FaultAccountingSkew arms a mutation-test hook: every transfer
+// accounts skew fewer busy cycles than it occupies. The
+// "bus-conservation" invariant must catch it.
+func (b *Bus) FaultAccountingSkew(skew uint64) { b.faultAccountingSkew = skew }
+
+// FaultOccupancySkew arms a mutation-test hook: every transfer
+// occupies the bus for extra cycles beyond what it accounts. The
+// "bus-busy-audit" invariant must catch it — and, because occupancy
+// shapes timing, the figure-shape suite must notice the bent curve.
+func (b *Bus) FaultOccupancySkew(extra uint64) { b.faultOccupancySkew = extra }
+
 // Latency reports the one-way command latency.
 func (b *Bus) Latency() uint64 { return b.lat }
 
@@ -62,15 +118,19 @@ func (b *Bus) CyclesPerLine() uint64 { return b.perL }
 // occupancy, and accounts the busy cycles.
 func (b *Bus) TransferLine(p *sim.Proc) {
 	t0 := p.Now()
-	start := b.data.Acquire(p, b.perL)
+	occ := b.perL + b.faultOccupancySkew
+	start := b.data.Acquire(p, occ)
 	b.wait.Add(start - t0)
-	p.WaitUntil(start + b.perL)
-	b.busy.Add(b.perL)
+	p.WaitUntil(start + occ)
+	b.busy.Add(b.perL - b.faultAccountingSkew)
 	b.txns.Inc()
 	if b.traced {
 		b.tr.Emit(trace.CatMem, trace.Event{
 			Cycle: start, Dur: b.perL, Track: b.track, Kind: trace.Complete, Name: "xfer",
 		})
+	}
+	if b.checked {
+		b.audit.Record(t0, start, start+occ, false)
 	}
 }
 
@@ -79,15 +139,19 @@ func (b *Bus) TransferLine(p *sim.Proc) {
 // at which the transfer completes. Posted transfers still consume
 // bandwidth, delaying later demand transfers.
 func (b *Bus) PostTransfer(earliest uint64) (done uint64) {
-	start := b.data.ReserveAt(earliest, b.perL)
-	b.busy.Add(b.perL)
+	occ := b.perL + b.faultOccupancySkew
+	start := b.data.ReserveAt(earliest, occ)
+	b.busy.Add(b.perL - b.faultAccountingSkew)
 	b.txns.Inc()
 	if b.traced {
 		b.tr.Emit(trace.CatMem, trace.Event{
 			Cycle: start, Dur: b.perL, Track: b.track, Kind: trace.Complete, Name: "posted-xfer",
 		})
 	}
-	return start + b.perL
+	if b.checked {
+		b.audit.Record(earliest, start, start+occ, true)
+	}
+	return start + occ
 }
 
 // PostWriteback schedules a line writeback on the data bus without

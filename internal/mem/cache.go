@@ -160,6 +160,28 @@ func (c *Cache) Clean(lineAddr uint64) {
 	}
 }
 
+// Dirty reports whether the line is present with its dirty bit set,
+// without touching LRU order or statistics.
+func (c *Cache) Dirty(lineAddr uint64) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return set[i].dirty
+		}
+	}
+	return false
+}
+
+// ForEachLine visits every valid line (used by the quiescent
+// coherence walk).
+func (c *Cache) ForEachLine(fn func(lineAddr uint64, dirty bool)) {
+	for i := range c.arr {
+		if c.arr[i].valid {
+			fn(c.arr[i].tag, c.arr[i].dirty)
+		}
+	}
+}
+
 // ValidLines reports how many lines are currently valid (test aid).
 func (c *Cache) ValidLines() int {
 	n := 0

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"fdt/internal/counters"
+	"fdt/internal/invariant"
 )
 
 // Directory implements the distributed directory-based MESI protocol
@@ -22,6 +23,18 @@ type Directory struct {
 
 	invals *counters.Counter
 	wbs    *counters.Counter
+
+	// ck/checked arm the continuous single-writer check after every
+	// state transition.
+	ck      *invariant.Checker
+	checked bool
+
+	// faultDropDowngrade is a mutation-test hook (see DESIGN.md
+	// Section 10): when set, a read miss that hits a remote Modified
+	// line still triggers the writeback but forgets to downgrade the
+	// owner — a protocol bug the "dir-single-writer" invariant must
+	// catch. Never set outside tests.
+	faultDropDowngrade bool
 }
 
 type dirEntry struct {
@@ -49,10 +62,13 @@ func (d *Directory) ReadMiss(line uint64, core int) (needWriteback bool, owner i
 		needWriteback = true
 		owner = e.owner
 		d.wbs.Inc()
-		e.modified = false
+		if !d.faultDropDowngrade {
+			e.modified = false
+		}
 	}
 	e.sharers |= 1 << uint(core)
 	d.entries[line] = e
+	d.checkEntry(line)
 	return needWriteback, owner
 }
 
@@ -79,6 +95,7 @@ func (d *Directory) WriteMiss(line uint64, core int) (invalidate []int, needWrit
 		d.wbs.Inc()
 	}
 	d.entries[line] = dirEntry{sharers: self, owner: core, modified: true}
+	d.checkEntry(line)
 	return invalidate, needWriteback, owner
 }
 
@@ -98,6 +115,7 @@ func (d *Directory) Evict(line uint64, core int) {
 		e.modified = false
 	}
 	d.entries[line] = e
+	d.checkEntry(line)
 }
 
 // Drop removes the directory entry entirely (L3 back-invalidation) and
@@ -116,6 +134,42 @@ func (d *Directory) Drop(line uint64) (holders []int) {
 	}
 	delete(d.entries, line)
 	return holders
+}
+
+// setChecker arms the continuous single-writer check (called via
+// System.SetChecker).
+func (d *Directory) setChecker(ck *invariant.Checker) {
+	d.ck = ck
+	d.checked = true
+}
+
+// FaultDropDowngrade arms a mutation-test hook: read misses that force
+// a remote writeback no longer downgrade the owner to Shared. The
+// "dir-single-writer" invariant must catch it.
+func (d *Directory) FaultDropDowngrade() { d.faultDropDowngrade = true }
+
+// checkEntry verifies the MESI single-writer/multi-reader rule for one
+// line after a state transition: a Modified line has exactly its owner
+// as sharer. The directory has no clock, so violations carry cycle 0.
+func (d *Directory) checkEntry(line uint64) {
+	if !d.checked {
+		return
+	}
+	d.ck.Pass(1)
+	e := d.entries[line]
+	if e.modified && e.sharers != 1<<uint(e.owner) {
+		d.ck.Failf("dir-single-writer", 0,
+			"line %#x modified by core %d but sharer mask is %#b (must be exactly the owner)",
+			line, e.owner, e.sharers)
+	}
+}
+
+// ForEach visits every directory entry (used by the quiescent
+// directory-vs-cache coherence walk).
+func (d *Directory) ForEach(fn func(line uint64, sharers uint64, owner int, modified bool)) {
+	for line, e := range d.entries {
+		fn(line, e.sharers, e.owner, e.modified)
+	}
 }
 
 // Sharers reports the cores currently recorded as caching line

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fdt/internal/counters"
+	"fdt/internal/invariant"
 	"fdt/internal/sim"
 	"fdt/internal/trace"
 )
@@ -34,6 +35,11 @@ type DRAM struct {
 	tr     *trace.Tracer
 	tracks []trace.TrackID
 	traced bool
+
+	// audits records per-bank service intervals for the invariant
+	// harness; checked caches the nil test off the hot path.
+	audits  []*invariant.QueueAudit
+	checked bool
 }
 
 type dramBank struct {
@@ -82,6 +88,43 @@ func (d *DRAM) setTracer(t *trace.Tracer) {
 		d.tracks[i] = t.Track(fmt.Sprintf("dram-bank-%d", i))
 	}
 	d.traced = true
+}
+
+// setChecker arms per-bank invariant audits (called via
+// System.SetChecker).
+func (d *DRAM) setChecker() {
+	d.audits = make([]*invariant.QueueAudit, len(d.banks))
+	for i := range d.audits {
+		d.audits[i] = invariant.NewQueueAudit(fmt.Sprintf("dram-bank-%d", i))
+	}
+	d.checked = true
+}
+
+// finishCheck runs the DRAM invariants: each bank's queue audit is
+// compared against its sim.Resource's own busy accounting (two
+// independent bookkeepers of the same schedule), the row-buffer
+// counters must partition the accesses, and the bank-wait counter must
+// equal the observed queueing delay.
+func (d *DRAM) finishCheck(ck *invariant.Checker, now uint64) {
+	if !d.checked {
+		return
+	}
+	var accesses, waits uint64
+	for i, b := range d.banks {
+		d.audits[i].Check(ck, now, b.res.BusyCycles())
+		accesses += d.audits[i].Count()
+		waits += d.audits[i].WaitSum()
+	}
+	ck.Pass(1)
+	if hits, misses := d.rowHits.Read(), d.rowMisses.Read(); hits+misses != accesses {
+		ck.Failf("dram-access-accounting", now,
+			"row hits %d + row misses %d = %d != %d bank accesses", hits, misses, hits+misses, accesses)
+	}
+	ck.Pass(1)
+	if got := d.bankWait.Read(); got != waits {
+		ck.Failf("dram-wait-audit", now,
+			"accounted bank-wait cycles %d != observed queueing delay %d", got, waits)
+	}
 }
 
 // traceAccess emits one bank-occupancy span, named by row outcome.
@@ -136,6 +179,9 @@ func (d *DRAM) Access(p *sim.Proc, addr uint64) {
 	if d.traced {
 		d.traceAccess(bank, start, lat, hit)
 	}
+	if d.checked {
+		d.audits[bank].Record(t0, start, start+lat, false)
+	}
 }
 
 // PostAccess performs a posted (non-blocking) access starting no
@@ -157,6 +203,9 @@ func (d *DRAM) PostAccess(earliest, addr uint64) (done uint64) {
 	start := b.res.ReserveAt(earliest, lat)
 	if d.traced {
 		d.traceAccess(bank, start, lat, hit)
+	}
+	if d.checked {
+		d.audits[bank].Record(earliest, start, start+lat, true)
 	}
 	return start + lat
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fdt/internal/counters"
+	"fdt/internal/invariant"
 	"fdt/internal/sim"
 	"fdt/internal/trace"
 )
@@ -39,6 +40,10 @@ type System struct {
 	tr         *trace.Tracer
 	coreTracks []trace.TrackID
 	memTrace   bool
+
+	// ck holds the armed invariant checker (nil when disabled); the
+	// subsystems cache their own enabled flags off the hot paths.
+	ck *invariant.Checker
 }
 
 type l3Bank struct {
@@ -124,6 +129,107 @@ func (s *System) SetTracer(t *trace.Tracer) {
 	s.coreTracks = make([]trace.TrackID, s.Cfg.Cores)
 	for c := range s.coreTracks {
 		s.coreTracks[c] = t.Track(fmt.Sprintf("core-%d", c))
+	}
+}
+
+// SetChecker arms the memory system's invariant harness: queue audits
+// on the bus and every DRAM bank, plus the continuous directory
+// single-writer check. A nil or disabled checker leaves every hot path
+// unchecked.
+func (s *System) SetChecker(ck *invariant.Checker) {
+	if !ck.Enabled() {
+		return
+	}
+	s.ck = ck
+	s.Bus.setChecker()
+	s.DRAM.setChecker()
+	s.Dir.setChecker(ck)
+}
+
+// FinishCheck runs the memory system's end-of-run invariants: the bus
+// and DRAM conservation/queueing checks and the quiescent coherence
+// walk comparing directory state against the actual cache contents.
+func (s *System) FinishCheck(now uint64) {
+	if s.ck == nil {
+		return
+	}
+	s.Bus.finishCheck(s.ck, now)
+	s.DRAM.finishCheck(s.ck, now)
+	s.checkCoherence()
+}
+
+// checkCoherence cross-checks the directory against the caches at
+// quiescence (no simulation processes in flight):
+//
+//   - "dir-single-writer": re-asserts the MESI rule over every entry;
+//   - "dir-sharer-cached": every recorded sharer actually holds the
+//     line in its private L2 (the directory never over-approximates on
+//     the clean side: sharer bits are cleared on evict/invalidate);
+//   - "dir-dirty-owned": a dirty private L2 line whose core is listed
+//     as a sharer must be the Modified owner. A dirty copy whose core
+//     is absent from the sharer mask is tolerated: a concurrent
+//     write miss by another core invalidates directory state before the
+//     first writer's blocking fill completes, leaving a transient stale
+//     copy that the next access cleans up;
+//   - "cache-l1-subset": every valid L1 line is present in the same
+//     core's L2 (the hierarchy maintains strict inclusion).
+func (s *System) checkCoherence() {
+	if !s.Cfg.ModelCoherence {
+		return
+	}
+	ck := s.ck
+	s.Dir.ForEach(func(line uint64, sharers uint64, owner int, modified bool) {
+		ck.Pass(1)
+		if modified && sharers != 1<<uint(owner) {
+			ck.Failf("dir-single-writer", 0,
+				"quiescent: line %#x modified by core %d but sharer mask is %#b",
+				line, owner, sharers)
+		}
+		for c := 0; sharers != 0; c++ {
+			if sharers&1 != 0 {
+				ck.Pass(1)
+				if !s.ports[c].l2.Contains(line) {
+					ck.Failf("dir-sharer-cached", 0,
+						"quiescent: directory lists core %d as sharer of line %#x but its L2 does not hold it",
+						c, line)
+				}
+			}
+			sharers >>= 1
+		}
+	})
+	for c, pt := range s.ports {
+		pt.l2.ForEachLine(func(line uint64, dirty bool) {
+			if !dirty {
+				return
+			}
+			mod, owner := s.Dir.IsModified(line)
+			listed := false
+			for _, sc := range s.Dir.Sharers(line) {
+				if sc == c {
+					listed = true
+					break
+				}
+			}
+			if !listed {
+				// Transient stale copy from a concurrent write miss —
+				// tolerated (see doc comment above).
+				return
+			}
+			ck.Pass(1)
+			if !mod || owner != c {
+				ck.Failf("dir-dirty-owned", 0,
+					"quiescent: core %d holds line %#x dirty and is a sharer, but directory says modified=%v owner=%d",
+					c, line, mod, owner)
+			}
+		})
+		pt.l1.ForEachLine(func(line uint64, dirty bool) {
+			ck.Pass(1)
+			if !pt.l2.Contains(line) {
+				ck.Failf("cache-l1-subset", 0,
+					"quiescent: core %d L1 holds line %#x but its L2 does not (inclusion broken)",
+					c, line)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,91 @@
+package power
+
+// Table-driven edge cases: machines with no threads placed, a single
+// core, and every core pinned for the whole window (the saturated
+// case the paper's all-cores baseline produces).
+
+import "testing"
+
+func TestMeterEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		cores   int
+		fill    func(m *Meter)
+		window  uint64
+		wantSum uint64
+		wantAvg float64
+	}{
+		{
+			name:  "zero threads placed",
+			cores: 32, fill: func(m *Meter) {},
+			window: 1000, wantSum: 0, wantAvg: 0,
+		},
+		{
+			name:  "single core fully active",
+			cores: 1,
+			fill: func(m *Meter) {
+				m.AddActive(0, 0, 500)
+			},
+			window: 500, wantSum: 500, wantAvg: 1,
+		},
+		{
+			name:  "all cores pinned for the whole window",
+			cores: 4,
+			fill: func(m *Meter) {
+				for c := 0; c < 4; c++ {
+					m.AddActive(c, 0, 250)
+				}
+			},
+			window: 250, wantSum: 1000, wantAvg: 4,
+		},
+		{
+			name:  "empty interval adds nothing",
+			cores: 2,
+			fill: func(m *Meter) {
+				m.AddActive(1, 100, 100)
+			},
+			window: 100, wantSum: 0, wantAvg: 0,
+		},
+		{
+			name:  "split intervals accumulate",
+			cores: 2,
+			fill: func(m *Meter) {
+				m.AddActive(0, 0, 10)
+				m.AddActive(0, 50, 60)
+				m.AddActive(1, 0, 20)
+			},
+			window: 100, wantSum: 40, wantAvg: 0.4,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMeter(tc.cores)
+			tc.fill(m)
+			if got := m.ActiveCoreCycles(); got != tc.wantSum {
+				t.Errorf("ActiveCoreCycles = %d, want %d", got, tc.wantSum)
+			}
+			if got := m.AverageActiveCores(tc.window); got != tc.wantAvg {
+				t.Errorf("AverageActiveCores(%d) = %g, want %g", tc.window, got, tc.wantAvg)
+			}
+			if got := len(m.PerCore()); got != tc.cores {
+				t.Errorf("len(PerCore) = %d, want %d", got, tc.cores)
+			}
+		})
+	}
+}
+
+func TestZeroCoreMeter(t *testing.T) {
+	m := NewMeter(0)
+	if m.Cores() != 0 || m.ActiveCoreCycles() != 0 || len(m.PerCore()) != 0 {
+		t.Fatal("zero-core meter accumulated state")
+	}
+	if got := m.AverageActiveCores(100); got != 0 {
+		t.Errorf("AverageActiveCores = %g, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddActive on a zero-core meter did not panic")
+		}
+	}()
+	m.AddActive(0, 0, 1)
+}

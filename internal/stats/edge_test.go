@@ -1,0 +1,113 @@
+package stats
+
+// Table-driven edge cases: empty and single-sample inputs, and
+// tie-breaking in the min/argmin family — the oracle's "fewest
+// threads" rule depends on first-on-ties being stable.
+
+import "testing"
+
+func TestEmptySeriesIsValid(t *testing.T) {
+	s, err := NewSeries("empty", nil, nil)
+	if err != nil {
+		t.Fatalf("empty series rejected: %v", err)
+	}
+	if len(s.X) != 0 || len(s.Y) != 0 {
+		t.Fatal("empty series has points")
+	}
+}
+
+func TestEmptyInputsPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"Gmean", func() { Gmean(nil) }},
+		{"ArgMin", func() { ArgMin(nil) }},
+		{"ArgMinUint", func() { ArgMinUint(nil) }},
+		{"MinMax", func() { MinMax(nil) }},
+		{"FewestWithin", func() { FewestWithin(nil, 0.01) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(empty) did not panic", tc.name)
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	if got := Gmean([]float64{7}); got != 7 {
+		t.Errorf("Gmean([7]) = %g", got)
+	}
+	if i, v := ArgMin([]float64{3.5}); i != 0 || v != 3.5 {
+		t.Errorf("ArgMin([3.5]) = (%d, %g)", i, v)
+	}
+	if i, v := ArgMinUint([]uint64{9}); i != 0 || v != 9 {
+		t.Errorf("ArgMinUint([9]) = (%d, %d)", i, v)
+	}
+	if got := FewestWithin([]uint64{42}, 0.01); got != 0 {
+		t.Errorf("FewestWithin([42]) = %d", got)
+	}
+	if lo, hi := MinMax([]float64{2}); lo != 2 || hi != 2 {
+		t.Errorf("MinMax([2]) = (%g, %g)", lo, hi)
+	}
+}
+
+func TestArgMinTieBreaking(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		want int
+	}{
+		{"tie picks first", []float64{3, 1, 1, 2}, 1},
+		{"all equal picks first", []float64{5, 5, 5}, 0},
+		{"later strict min wins", []float64{2, 2, 1}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if i, _ := ArgMin(tc.vals); i != tc.want {
+				t.Errorf("ArgMin(%v) = %d, want %d", tc.vals, i, tc.want)
+			}
+			u := make([]uint64, len(tc.vals))
+			for j, v := range tc.vals {
+				u[j] = uint64(v)
+			}
+			if i, _ := ArgMinUint(u); i != tc.want {
+				t.Errorf("ArgMinUint(%v) = %d, want %d", u, i, tc.want)
+			}
+		})
+	}
+}
+
+func TestFewestWithinTieBreaking(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []uint64
+		tol  float64
+		want int
+	}{
+		{"earlier value inside tolerance wins", []uint64{101, 100, 99}, 0.05, 0},
+		{"tight tolerance finds the min", []uint64{200, 100, 101}, 0, 1},
+		{"exact ties pick first", []uint64{100, 100, 100}, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := FewestWithin(tc.vals, tc.tol); got != tc.want {
+				t.Errorf("FewestWithin(%v, %g) = %d, want %d", tc.vals, tc.tol, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestWithinPctZeroWant(t *testing.T) {
+	if !WithinPct(0, 0, 1) {
+		t.Error("WithinPct(0, 0) = false")
+	}
+	if WithinPct(0.001, 0, 50) {
+		t.Error("WithinPct(nonzero, 0) = true")
+	}
+}

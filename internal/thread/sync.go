@@ -27,6 +27,13 @@ type Lock struct {
 
 	held    bool
 	waiters []*sim.Proc
+	// owner is the process currently holding the lock (nil when free).
+	// Maintained unconditionally — it is one pointer write per
+	// transition — and verified by the "sync-lock-ownership" invariant
+	// when the harness is armed: direct acquisition requires a free
+	// lock, a woken waiter must have been handed ownership, and only
+	// the owner may release.
+	owner *sim.Proc
 }
 
 // NewLock allocates a lock with a backing cache line on m.
@@ -41,16 +48,33 @@ func (c *Ctx) Critical(l *Lock, body func()) {
 	p := c.CPU.Proc()
 	ctrs := c.m.Ctrs
 
+	ck := c.m.Check
 	waitStart := p.Now()
 	if l.held {
 		l.waiters = append(l.waiters, p)
 		p.Park()
+		if ck.Enabled() {
+			ck.Pass(1)
+			if l.owner != p {
+				ck.Failf("sync-lock-ownership", p.Now(),
+					"thread %d woke inside a critical section without being handed the lock", c.ID)
+			}
+		}
 	} else {
+		if ck.Enabled() {
+			ck.Pass(1)
+			if l.owner != nil {
+				ck.Failf("sync-lock-ownership", p.Now(),
+					"thread %d acquired a free-looking lock that still has an owner", c.ID)
+			}
+		}
 		l.held = true
+		l.owner = p
 	}
 	entered := p.Now()
 	ctrs.Counter(CtrCSWaitCycles).Add(entered - waitStart)
 	ctrs.Counter(CtrCSEntries).Inc()
+	c.led.AddSync(entered - waitStart)
 
 	if l.Addr != 0 {
 		// Take ownership of the lock word (the atomic RMW that
@@ -86,12 +110,21 @@ func (c *Ctx) Critical(l *Lock, body func()) {
 	}
 
 	// Hand the lock to the next waiter in FIFO order, or free it.
+	if ck.Enabled() {
+		ck.Pass(1)
+		if l.owner != p {
+			ck.Failf("sync-lock-ownership", p.Now(),
+				"thread %d releasing a lock it does not own", c.ID)
+		}
+	}
 	if len(l.waiters) > 0 {
 		next := l.waiters[0]
 		l.waiters = l.waiters[1:]
+		l.owner = next
 		p.Wake(next) // next resumes holding the lock
 	} else {
 		l.held = false
+		l.owner = nil
 	}
 }
 
@@ -102,19 +135,42 @@ func (c *Ctx) Critical(l *Lock, body func()) {
 type Barrier struct {
 	arrived int
 	waiters []*sim.Proc
+	// gen counts completed barrier episodes. Maintained
+	// unconditionally; the "sync-barrier-generation" invariant uses it
+	// to verify that a parked thread wakes in exactly the next
+	// generation — no lost wakeups, no wake-ahead.
+	gen uint64
 }
 
 // Barrier blocks the thread at b until all c.Size team members arrive,
 // charging barrier wait time to the runtime's counters.
 func (c *Ctx) Barrier(b *Barrier) {
 	p := c.CPU.Proc()
+	ck := c.m.Check
 	start := p.Now()
 	b.arrived++
+	if ck.Enabled() {
+		ck.Pass(1)
+		if b.arrived > c.Size {
+			ck.Failf("sync-barrier-overflow", start,
+				"barrier has %d arrivals for a team of %d", b.arrived, c.Size)
+		}
+	}
 	if b.arrived < c.Size {
+		g0 := b.gen
 		b.waiters = append(b.waiters, p)
 		p.Park()
+		if ck.Enabled() {
+			ck.Pass(1)
+			if b.gen != g0+1 {
+				ck.Failf("sync-barrier-generation", p.Now(),
+					"thread %d parked in barrier generation %d but woke in %d (want %d)",
+					c.ID, g0, b.gen, g0+1)
+			}
+		}
 	} else {
 		// Last arriver releases everyone and resets for reuse.
+		b.gen++
 		for _, w := range b.waiters {
 			p.Wake(w)
 		}
@@ -123,6 +179,7 @@ func (c *Ctx) Barrier(b *Barrier) {
 	}
 	if now := p.Now(); now > start {
 		c.m.Ctrs.Counter(CtrBarrierWaitCycles).Add(now - start)
+		c.led.AddSync(now - start)
 		if tr := c.m.Trace; tr.Wants(trace.CatSync) {
 			tr.Emit(trace.CatSync, trace.Event{
 				Cycle: start, Dur: now - start, Track: c.m.CoreTrack(c.CPU.Core()),

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"fdt/internal/cpu"
+	"fdt/internal/invariant"
 	"fdt/internal/machine"
 	"fdt/internal/sim"
 )
@@ -45,6 +46,10 @@ type Ctx struct {
 	CPU *cpu.CPU
 
 	m *machine.Machine
+	// led is the hardware context's conservation ledger (nil when the
+	// invariant harness is disabled): sync waits charge Sync, the
+	// master's join park charges Idle.
+	led *invariant.Ledger
 }
 
 // Machine exposes the machine the thread runs on.
@@ -102,7 +107,9 @@ func newCtx(m *machine.Machine, id, size, hwCtx int, p *sim.Proc) *Ctx {
 	if m.Cfg.SMTContexts > 1 {
 		c.SetContention(func() int { return m.CoreLoad(core) })
 	}
-	return &Ctx{ID: id, Size: size, CPU: c, m: m}
+	led := m.ContextLedger(hwCtx)
+	c.SetLedger(led)
+	return &Ctx{ID: id, Size: size, CPU: c, m: m, led: led}
 }
 
 // Run starts the program's master thread on hardware context 0 (core
@@ -111,10 +118,15 @@ func newCtx(m *machine.Machine, id, size, hwCtx int, p *sim.Proc) *Ctx {
 // initial thread of an OpenMP program.
 func Run(m *machine.Machine, main func(c *Ctx)) {
 	m.OccupyContext(0, 0)
+	var done uint64
 	m.Eng.Spawn("master", func(p *sim.Proc) {
 		main(newCtx(m, 0, 1, 0, p))
+		done = p.Now()
 	})
 	m.Eng.Run()
+	// Auxiliary processes (the sampler) may keep the engine alive past
+	// the master's last action; that tail is idle occupancy.
+	m.ContextLedger(0).AddIdle(m.Eng.Now() - done)
 	m.ReleaseContext(0, m.Eng.Now())
 }
 
@@ -156,11 +168,13 @@ func (c *Ctx) Fork(n int, body func(tc *Ctx)) {
 		})
 	}
 
-	masterCtx := &Ctx{ID: 0, Size: n, CPU: c.CPU, m: m}
+	masterCtx := &Ctx{ID: 0, Size: n, CPU: c.CPU, m: m, led: c.led}
 	body(masterCtx)
 	if join.remaining > 0 {
 		join.masterParked = true
+		t0 := p.Now()
 		p.Park()
+		c.led.AddIdle(p.Now() - t0)
 	}
 }
 

@@ -1,0 +1,94 @@
+package trace
+
+// Fuzz targets for the trace subsystem's two trust boundaries: the
+// ring buffer's bookkeeping under arbitrary capacity/volume mixes, and
+// the Chrome exporter's promise to emit valid JSON for any event and
+// metadata content (jsonString must escape whatever the model layer
+// puts in names and labels).
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func FuzzRing(f *testing.F) {
+	f.Add(4, []byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add(0, []byte{9})
+	f.Add(1, []byte{})
+	f.Add(-3, []byte{1, 1, 1})
+	f.Fuzz(func(t *testing.T, capacity int, cycles []byte) {
+		if capacity > 1<<12 {
+			capacity = 1 << 12
+		}
+		tr := New(capacity, CatAll)
+		id := tr.Track("fuzz")
+		var last uint64
+		for i, b := range cycles {
+			// Cycles drift upward but may repeat; Emit must not care.
+			last += uint64(b % 16)
+			tr.Emit(CatAll, Event{Cycle: last, A0: uint64(i), Name: "ev", Track: id})
+		}
+
+		if tr.Len() > tr.Cap() {
+			t.Fatalf("Len %d exceeds Cap %d", tr.Len(), tr.Cap())
+		}
+		if tr.Emitted() != uint64(len(cycles)) {
+			t.Fatalf("Emitted %d, want %d", tr.Emitted(), len(cycles))
+		}
+		if tr.Dropped() != tr.Emitted()-uint64(tr.Len()) {
+			t.Fatalf("Dropped %d != Emitted %d - Len %d", tr.Dropped(), tr.Emitted(), tr.Len())
+		}
+		evs := tr.Events()
+		if len(evs) != tr.Len() {
+			t.Fatalf("Events() has %d entries, Len says %d", len(evs), tr.Len())
+		}
+		// The ring keeps the newest events in emit order: A0 is the
+		// emit index, so the survivors are the last Len() indices.
+		for i, ev := range evs {
+			want := uint64(len(cycles) - tr.Len() + i)
+			if ev.A0 != want {
+				t.Fatalf("event %d has emit index %d, want %d (oldest-first order broken)", i, ev.A0, want)
+			}
+		}
+	})
+}
+
+func FuzzChromeExport(f *testing.F) {
+	f.Add("xfer", "label", []byte{1, 2, 3})
+	f.Add("a\"b\\c", "newline\nquote\"", []byte{0})
+	f.Add("", "\x00\x1f\x7f", []byte{255, 128, 7})
+	f.Add("unicode sep", "<script>", []byte{4, 4, 4, 4})
+	f.Fuzz(func(t *testing.T, name, label string, data []byte) {
+		tr := New(64, CatAll)
+		id := tr.Track("t:" + name)
+		var cyc uint64
+		for i, b := range data {
+			cyc += uint64(b)
+			kind := Instant
+			if b%2 == 1 {
+				kind = Complete
+			}
+			tr.Emit(CatAll, Event{
+				Cycle: cyc, Dur: uint64(b) * 3, A0: uint64(i),
+				Name: name, Label: label, Track: id, Kind: kind, Cat: CatMem,
+			})
+		}
+		meta := map[string]string{"k" + name: label, "workload": name}
+
+		var buf bytes.Buffer
+		if err := WriteChrome(&buf, tr, meta); err != nil {
+			t.Fatalf("WriteChrome: %v", err)
+		}
+		var doc struct {
+			TraceEvents []map[string]any  `json:"traceEvents"`
+			OtherData   map[string]string `json:"otherData"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("exporter emitted invalid JSON: %v\n%s", err, buf.String())
+		}
+		if len(doc.TraceEvents) < tr.Len() {
+			t.Fatalf("%d JSON events for %d captured (plus metadata)", len(doc.TraceEvents), tr.Len())
+		}
+	})
+}
