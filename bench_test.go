@@ -193,6 +193,32 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// BenchmarkSimulatorThroughputSampled is BenchmarkSimulatorThroughput
+// in sampled execution mode (DESIGN.md Section 11): steady-state
+// regions fast-forward analytically instead of simulating every
+// event. simcycles/sec — simulated time retired per wall second, the
+// number sampling exists to raise — is the headline; compare against
+// the exact benchmark's implied rate to read the speedup.
+func BenchmarkSimulatorThroughputSampled(b *testing.B) {
+	cfg := machine.DefaultConfig()
+	info, _ := workloads.ByName("ed")
+	var events, cycles uint64
+	var skipped float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.MustNew(cfg)
+		ctl := core.NewController(core.Static{N: 8})
+		ctl.Mode = core.SampledMode()
+		res := ctl.Run(m, info.Factory(m))
+		events += m.Eng.Events()
+		cycles += res.TotalCycles
+		skipped = res.Sampled.SkippedFrac()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/sec")
+	b.ReportMetric(100*skipped, "skipped-pct")
+}
+
 // BenchmarkSimulatorThroughputTraced is BenchmarkSimulatorThroughput
 // with the full trace subsystem armed (all categories, 1<<18-event
 // ring) — the cost ceiling of tracing. Compare against the untraced

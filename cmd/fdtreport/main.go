@@ -11,11 +11,17 @@
 //	fdtreport -csv out/       # also write out/fig2.csv, out/fig14.csv, ...
 //	fdtreport -json out/      # also write out/fig2.json, out/fig14.json, ...
 //	fdtreport -parallel 1     # legacy serial execution (0 = GOMAXPROCS)
+//	fdtreport -sampled        # steady-state fast-forward (DESIGN.md Section 11)
 //
 // Independent simulations fan out over a host worker pool and are
 // memoized for the process lifetime, so figures sharing baseline
 // sweeps (8, 9, 10, 14, 15) simulate each distinct run once; the
 // footer reports the worker count and the run-cache hit rate.
+//
+// With -sampled every run executes in sampled mode (-sample-tol and
+// -sample-window tune the detector); the per-figure gmean cycle
+// error against exact execution is gated at 3% in CI, and `fdtsweep
+// -sampled -verify` audits any workload point by point.
 package main
 
 import (
@@ -43,11 +49,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fdtreport", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		only     = fs.String("only", "", "run a single experiment: table1, table2, fig2, fig4, fig8, fig9, fig10, fig12, fig13, fig14, fig15, smt, trainingcost, ablations")
-		fast     = fs.Bool("fast", false, "sweep a reduced set of thread counts")
-		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files into")
-		jsonDir  = fs.String("json", "", "directory to write per-experiment JSON files into")
-		parallel = fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		only      = fs.String("only", "", "run a single experiment: table1, table2, fig2, fig4, fig8, fig9, fig10, fig12, fig13, fig14, fig15, smt, trainingcost, ablations")
+		fast      = fs.Bool("fast", false, "sweep a reduced set of thread counts")
+		csvDir    = fs.String("csv", "", "directory to write per-figure CSV files into")
+		jsonDir   = fs.String("json", "", "directory to write per-experiment JSON files into")
+		parallel  = fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		useSample = fs.Bool("sampled", false, "execute kernels in sampled mode (steady-state fast-forward; see DESIGN.md Section 11)")
+		sampleTol = fs.Float64("sample-tol", 0, "sampled-mode stability tolerance (0 = default)")
+		sampleWin = fs.Int("sample-window", 0, "sampled-mode detailed-window length in iterations (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +66,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o := experiments.DefaultOptions()
 	if *fast {
 		o.SweepThreads = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32}
+	}
+	if *useSample {
+		o.Mode = core.SampledMode()
+		o.Mode.Params.Tol = *sampleTol
+		o.Mode.Params.WindowIters = *sampleWin
+		o.Mode.Params = o.Mode.Params.WithDefaults()
 	}
 
 	// Each runner returns the text rendition, the CSV series, and the
@@ -114,9 +129,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		found = true
 		start := time.Now()
+		h0, m0 := core.RunCacheStats()
+		_, _, e0 := core.RunCacheUsage()
 		text, csv, data := r.run()
+		h1, m1 := core.RunCacheStats()
+		_, _, e1 := core.RunCacheUsage()
 		fmt.Fprintln(stdout, text)
-		fmt.Fprintf(stdout, "  [%s took %.1fs]\n\n", r.name, time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "  [%s took %.1fs; run cache: %d hits / %d misses, %d evictions]\n\n",
+			r.name, time.Since(start).Seconds(), h1-h0, m1-m0, e1-e0)
 		if *csvDir != "" && csv != "" {
 			path := filepath.Join(*csvDir, r.name+".csv")
 			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {

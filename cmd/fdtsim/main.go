@@ -10,7 +10,14 @@
 //	fdtsim -workload convert -policy bat -bandwidth 0.5
 //	fdtsim -workload ed -policy bat -trace ed.trace.json
 //	fdtsim -workload isort -check
+//	fdtsim -workload ep -policy hillclimb
+//	fdtsim -workload ed -sampled             # steady-state fast-forward
 //	fdtsim -list
+//
+// Sampled mode (-sampled, tuned by -sample-tol and -sample-window)
+// extrapolates through steady-state kernel regions; see DESIGN.md
+// Section 11. Invariant checking (-check) and tracing need every
+// cycle simulated, so they force exact execution with a note.
 package main
 
 import (
@@ -49,6 +56,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sparkline = fs.Bool("sparkline", false, "sample the run and print bus/active-core sparklines")
 		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
 		check     = fs.Bool("check", false, "arm the runtime invariant checker (conservation, queueing, coherence, controller equations)")
+		useSample = fs.Bool("sampled", false, "execute kernels in sampled mode (steady-state fast-forward; see DESIGN.md Section 11)")
+		sampleTol = fs.Float64("sample-tol", 0, "sampled-mode stability tolerance (0 = default)")
+		sampleWin = fs.Int("sample-window", 0, "sampled-mode detailed-window length in iterations (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,10 +77,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fdtsim: unknown workload %q (try -list)\n", *workload)
 		return 2
 	}
-	pol, err := parsePolicy(*policy, *threads)
-	if err != nil {
-		fmt.Fprintln(stderr, "fdtsim:", err)
-		return 2
+	hillClimb := false
+	var pol core.Policy
+	switch strings.ToLower(*policy) {
+	case "hillclimb", "hill-climb":
+		hillClimb = true
+	default:
+		var err error
+		pol, err = parsePolicy(*policy, *threads)
+		if err != nil {
+			fmt.Fprintln(stderr, "fdtsim:", err)
+			return 2
+		}
+	}
+
+	// Invariant accounting, tracing and hill-climb probing all need
+	// every cycle simulated; they win over -sampled.
+	md := core.ExactMode()
+	if *useSample {
+		switch {
+		case *check:
+			fmt.Fprintln(stdout, "note: -check forces exact execution (invariant accounting needs every cycle simulated)")
+		case *traceOut != "":
+			fmt.Fprintln(stdout, "note: -trace forces exact execution (a golden trace must record every event)")
+		case hillClimb:
+			fmt.Fprintln(stdout, "note: -policy hillclimb forces exact execution (its probes time real chunks)")
+		default:
+			md = core.SampledMode()
+			md.Params.Tol = *sampleTol
+			md.Params.WindowIters = *sampleWin
+			md.Params = md.Params.WithDefaults()
+		}
 	}
 
 	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
@@ -90,7 +127,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		m.AttachChecker(ck)
 	}
 	w := info.Factory(m)
-	res := core.NewController(pol).Run(m, w)
+	var res core.RunResult
+	if hillClimb {
+		res = core.HillClimb{}.Run(m, w)
+	} else {
+		ctl := core.NewController(pol)
+		ctl.Mode = md
+		res = ctl.Run(m, w)
+	}
 
 	fmt.Fprintf(stdout, "workload   %s (%s)\n", res.Workload, info.Class)
 	fmt.Fprintf(stdout, "policy     %s\n", res.Policy)
@@ -104,6 +148,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		d := k.Decision
 		fmt.Fprintf(stdout, "kernel %-22s threads=%-3d pcs=%-3d pbw=%-3d csfrac=%.3f%% bu1=%.2f%% train=%d iters (%d cyc) total=%d cyc\n",
 			k.Kernel, d.Threads, d.PCS, d.PBW, 100*d.CSFraction, 100*d.BusUtil1, k.TrainIters, k.TrainCycles, k.Cycles)
+	}
+	if s := res.Sampled; s != nil {
+		fmt.Fprintf(stdout, "sampled    %d detailed + %d skipped iters (%.1f%% skipped), %d fast-forwards, %d re-entries, %d cycles extrapolated\n",
+			s.DetailedIters, s.SkippedIters, 100*s.SkippedFrac(), s.FastForwards, s.Reentries, s.SkippedCycles)
 	}
 
 	if *dumpCtrs {
@@ -135,7 +183,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *verify {
-		if v, ok := w.(workloads.Verifier); ok {
+		if res.Sampled != nil {
+			// Fast-forwarded iterations never execute their host-side
+			// computation, so the workload's arrays are incomplete by
+			// construction — result verification only means something
+			// on an exact run.
+			fmt.Fprintln(stdout, "verify     skipped (sampled run: extrapolated iterations compute no results)")
+		} else if v, ok := w.(workloads.Verifier); ok {
 			if err := v.Verify(); err != nil {
 				fmt.Fprintf(stdout, "verify     FAIL: %v\n", err)
 				return 1

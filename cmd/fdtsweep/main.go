@@ -10,9 +10,16 @@
 //	fdtsweep -workload convert -bandwidth 2
 //	fdtsweep -workload ed -parallel 1   # legacy serial (0 = GOMAXPROCS)
 //	fdtsweep -workload ed -json sweep.json   # machine-readable output ("-" = stdout)
+//	fdtsweep -workload ed -sampled           # steady-state fast-forward
+//	fdtsweep -workload ed -sampled -verify   # sampled vs exact error table
 //
 // Sweep points are independent simulations; they fan out over a host
 // worker pool and land in the process-wide run cache.
+//
+// With -sampled the sweep executes in sampled mode (DESIGN.md
+// Section 11); adding -verify runs every point in both modes and
+// prints a per-point cycle/power relative-error table with geometric
+// means — the accuracy audit behind BENCH_PR6.json.
 package main
 
 import (
@@ -39,9 +46,21 @@ func main() {
 		policies  = flag.String("policies", "sat,bat,sat+bat", "feedback policies to place on the curve")
 		parallel  = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		jsonPath  = flag.String("json", "", "write the sweep and policy runs as JSON to this file (\"-\" for stdout)")
+		useSample = flag.Bool("sampled", false, "execute sweep points in sampled mode (steady-state fast-forward)")
+		sampleTol = flag.Float64("sample-tol", 0, "sampled-mode stability tolerance (0 = default)")
+		sampleWin = flag.Int("sample-window", 0, "sampled-mode detailed-window length in iterations (0 = default)")
+		verifyAcc = flag.Bool("verify", false, "with -sampled: also run every point exactly and print the error table")
 	)
 	flag.Parse()
 	runner.SetWorkers(*parallel)
+
+	md := core.ExactMode()
+	if *useSample {
+		md = core.SampledMode()
+		md.Params.Tol = *sampleTol
+		md.Params.WindowIters = *sampleWin
+		md.Params = md.Params.WithDefaults()
+	}
 
 	info, ok := workloads.ByName(*workload)
 	if !ok {
@@ -57,7 +76,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	sweep := core.SweepKeyed(cfg, info.Name, factory, counts)
+	sweep := core.SweepKeyedMode(cfg, info.Name, factory, counts, md)
 	base := sweep[0].TotalCycles // normalize to the 1-thread run
 	fmt.Printf("# %s on %d cores, %.2gx bandwidth (time normalized to %d threads)\n",
 		info.Name, *cores, *bandwidth, counts[0])
@@ -83,17 +102,58 @@ func main() {
 		MinThreads: counts[bestIdx],
 	}
 
+	if *useSample && *verifyAcc {
+		exact := core.SweepKeyed(cfg, info.Name, factory, counts)
+		fmt.Printf("# sampled-vs-exact verification\n")
+		fmt.Printf("%8s %12s %12s %9s %8s %8s %9s %8s\n",
+			"threads", "exact.cyc", "sampled.cyc", "cyc.err", "exact.pw", "smpl.pw", "pw.err", "skipped")
+		var cycErrs, pwErrs []float64
+		var points []verifyPoint
+		for i, ex := range exact {
+			sp := sweep[i]
+			cycErr := relErr(float64(sp.TotalCycles), float64(ex.TotalCycles))
+			pwErr := relErr(sp.AvgActiveCores, ex.AvgActiveCores)
+			cycErrs = append(cycErrs, 1+absF(cycErr))
+			pwErrs = append(pwErrs, 1+absF(pwErr))
+			skipped := 0.0
+			if sp.Sampled != nil {
+				skipped = sp.Sampled.SkippedFrac()
+			}
+			fmt.Printf("%8d %12d %12d %8.2f%% %8.2f %8.2f %8.2f%% %7.1f%%\n",
+				counts[i], ex.TotalCycles, sp.TotalCycles, 100*cycErr,
+				ex.AvgActiveCores, sp.AvgActiveCores, 100*pwErr, 100*skipped)
+			points = append(points, verifyPoint{
+				Threads: counts[i], ExactCycles: ex.TotalCycles, SampledCycles: sp.TotalCycles,
+				CycleErr: cycErr, ExactPower: ex.AvgActiveCores, SampledPower: sp.AvgActiveCores,
+				PowerErr: pwErr, SkippedFrac: skipped,
+			})
+		}
+		gCyc := stats.Gmean(cycErrs) - 1
+		gPw := stats.Gmean(pwErrs) - 1
+		fmt.Printf("# gmean |cycle err| %.3f%%, gmean |power err| %.3f%%\n", 100*gCyc, 100*gPw)
+		out.Verify = &verifyJSON{Points: points, GmeanCycleErr: gCyc, GmeanPowerErr: gPw}
+	}
+
 	for _, pname := range strings.Split(*policies, ",") {
 		pname = strings.TrimSpace(pname)
 		if pname == "" {
 			continue
 		}
-		pol, err := policyByName(pname)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fdtsweep:", err)
-			os.Exit(2)
+		var r core.RunResult
+		switch strings.ToLower(pname) {
+		case "hillclimb", "hill-climb":
+			// Hill-climbing is not a model-driven Policy — its probes
+			// time real chunks — so it runs outside the cache, exact.
+			m := machine.MustNew(cfg)
+			r = core.HillClimb{}.Run(m, factory(m))
+		default:
+			pol, err := policyByName(pname)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+				os.Exit(2)
+			}
+			r = core.RunPolicyKeyedMode(cfg, info.Name, factory, pol, md)
 		}
-		r := core.RunPolicyKeyed(cfg, info.Name, factory, pol)
 		out.Policies = append(out.Policies, r)
 		fmt.Printf("# %-8s -> ", r.Policy)
 		for _, k := range r.Kernels {
@@ -131,6 +191,41 @@ type sweepJSON struct {
 	Sweep      []core.RunResult `json:"sweep"`
 	MinThreads int              `json:"min_threads"`
 	Policies   []core.RunResult `json:"policies,omitempty"`
+	Verify     *verifyJSON      `json:"verify,omitempty"`
+}
+
+// verifyJSON is the -sampled -verify accuracy audit: per-point
+// exact-vs-sampled comparison plus error geometric means.
+type verifyJSON struct {
+	Points        []verifyPoint `json:"points"`
+	GmeanCycleErr float64       `json:"gmean_cycle_err"`
+	GmeanPowerErr float64       `json:"gmean_power_err"`
+}
+
+type verifyPoint struct {
+	Threads       int     `json:"threads"`
+	ExactCycles   uint64  `json:"exact_cycles"`
+	SampledCycles uint64  `json:"sampled_cycles"`
+	CycleErr      float64 `json:"cycle_err"`
+	ExactPower    float64 `json:"exact_power"`
+	SampledPower  float64 `json:"sampled_power"`
+	PowerErr      float64 `json:"power_err"`
+	SkippedFrac   float64 `json:"skipped_frac"`
+}
+
+// relErr is (got-want)/want, signed.
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return (got - want) / want
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 func writeJSON(path string, v any) error {

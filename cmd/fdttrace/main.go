@@ -56,9 +56,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		bufCap    = fs.Int("buf", 1<<19, "trace ring-buffer capacity in events (newest kept on overflow)")
 		list      = fs.Bool("list", false, "list workloads and exit")
 		check     = fs.Bool("check", false, "arm the runtime invariant checker (conservation, queueing, coherence, controller equations)")
+		useSample = fs.Bool("sampled", false, "ignored: traces always execute exactly (kept for flag parity with fdtsim)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *useSample {
+		// A golden trace must record every simulated event;
+		// fast-forwarded regions would leave silent gaps.
+		fmt.Fprintln(stdout, "note: fdttrace always executes exactly (a golden trace must record every event); -sampled ignored")
 	}
 
 	if *list {

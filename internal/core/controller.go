@@ -3,6 +3,7 @@ package core
 import (
 	"fdt/internal/counters"
 	"fdt/internal/machine"
+	"fdt/internal/sampled"
 	"fdt/internal/thread"
 	"fdt/internal/trace"
 )
@@ -92,6 +93,10 @@ type RunResult struct {
 	// BusBusyCycles is the off-chip data-bus occupancy over the run.
 	BusBusyCycles uint64
 	Kernels       []KernelResult
+	// Sampled holds sampled-execution statistics when the run executed
+	// in sampled mode; nil for exact runs (and omitted from JSON, so
+	// exact-mode output stays bit-identical to pre-sampling releases).
+	Sampled *sampled.Stats `json:",omitempty"`
 }
 
 // AvgThreads reports the cycle-weighted average team size across
@@ -131,6 +136,14 @@ type Controller struct {
 	// pipeline back to the Sample stage. nil (the default) reproduces
 	// the paper's train-once controller exactly.
 	Monitor *MonitorParams
+	// Mode selects exact or sampled execution (see Mode). The zero
+	// value is exact mode — bit-identical to the pre-sampling
+	// controller.
+	Mode Mode
+
+	// st accumulates sampled-execution statistics for the current run;
+	// set by Run when Mode.Sampled, nil otherwise.
+	st *sampled.Stats
 }
 
 // NewController builds a train-once controller with the paper's
@@ -152,6 +165,10 @@ func NewAdaptiveController(p Policy, mp MonitorParams) *Controller {
 // The machine must be fresh (one Machine simulates one execution).
 func (ctl *Controller) Run(m *machine.Machine, w Workload) RunResult {
 	res := RunResult{Workload: w.Name(), Policy: ctl.Policy.Name()}
+	if ctl.Mode.Sampled {
+		ctl.st = &sampled.Stats{}
+		res.Sampled = ctl.st
+	}
 	thread.Run(m, func(c *thread.Ctx) {
 		if sw, ok := w.(SetupWorkload); ok {
 			sw.Setup(c)
@@ -237,7 +254,7 @@ func (ctl *Controller) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 	if !ctl.Policy.NeedsTraining() || n < ctl.Params.MinIterations {
 		d := Decision{Threads: ctl.Policy.StaticThreads(cores)}
 		ct.decision(k.Name(), start, d)
-		Executor{}.Execute(c, k, d.Threads, 0, n)
+		ctl.execute(c, k, d.Threads, 0, n)
 		ct.span("execute", k.Name(), start, c.CPU.CycleCount(), uint64(d.Threads), 0, uint64(n))
 		return KernelResult{
 			Kernel:   k.Name(),
@@ -258,13 +275,14 @@ func (ctl *Controller) runTrainOnce(c *thread.Ctx, k Kernel, n, cores int, start
 	cc := newCtlCheck(c.Machine())
 	cc.atDecision(c, start)
 	out := Sampler{Params: ctl.Params}.Sample(c, k, ctl.Policy, 0, n)
+	ctl.countTraining(out.Train.Iters)
 	d, tr := Estimator{Params: ctl.Params}.Estimate(ctl.Policy, out, cores)
 	trainCycles := c.CPU.CycleCount() - start
 	ct.span("sample", k.Name(), start, c.CPU.CycleCount(), uint64(out.Train.Iters), 0, 0)
 	ct.decision(k.Name(), c.CPU.CycleCount(), d)
 	cc.decision(ctl.Policy, tr, cores, d, c.CPU.CycleCount())
 	execStart := c.CPU.CycleCount()
-	Executor{}.Execute(c, k, d.Threads, out.Next, n)
+	ctl.execute(c, k, d.Threads, out.Next, n)
 	ct.span("execute", k.Name(), execStart, c.CPU.CycleCount(), uint64(d.Threads), uint64(out.Next), uint64(n))
 	return KernelResult{
 		Kernel:      k.Name(),
@@ -294,6 +312,7 @@ func (ctl *Controller) runAdaptive(c *thread.Ctx, k Kernel, n, cores int, start 
 		phaseStart := c.CPU.CycleCount()
 		cc.atDecision(c, phaseStart)
 		out := sampler.Sample(c, k, ctl.Policy, iter, n)
+		ctl.countTraining(out.Train.Iters)
 		d, tr := estimator.Estimate(ctl.Policy, out, cores)
 		trainCycles := c.CPU.CycleCount() - phaseStart
 		ct.span("sample", k.Name(), phaseStart, c.CPU.CycleCount(), uint64(out.Train.Iters), uint64(iter), 0)
@@ -304,11 +323,15 @@ func (ctl *Controller) runAdaptive(c *thread.Ctx, k Kernel, n, cores int, start 
 		var dr *Drift
 		execStart := c.CPU.CycleCount()
 		if kr.Retrains >= mp.MaxRetrains {
-			Executor{}.Execute(c, k, d.Threads, out.Next, n)
+			ctl.execute(c, k, d.Threads, out.Next, n)
 			stop = n
 		} else {
 			mo := NewMonitor(mp, estimator.Steady(out))
-			stop, dr = Executor{}.ExecuteMonitored(c, k, d.Threads, out.Next, n, mo)
+			if ctl.Mode.Sampled {
+				stop, dr = Executor{}.ExecuteSampled(c, k, d.Threads, out.Next, n, ctl.Mode.Params, ctl.st, mo)
+			} else {
+				stop, dr = Executor{}.ExecuteMonitored(c, k, d.Threads, out.Next, n, mo)
+			}
 		}
 		ct.span("execute", k.Name(), execStart, c.CPU.CycleCount(), uint64(d.Threads), uint64(out.Next), uint64(stop))
 		if dr != nil {
@@ -333,7 +356,7 @@ func (ctl *Controller) runAdaptive(c *thread.Ctx, k Kernel, n, cores int, start 
 			// Tail too short to re-train on: finish with the current
 			// decision and account it to the last phase.
 			tailStart := c.CPU.CycleCount()
-			Executor{}.Execute(c, k, d.Threads, iter, n)
+			ctl.execute(c, k, d.Threads, iter, n)
 			kr.Phases[len(kr.Phases)-1].Cycles += c.CPU.CycleCount() - tailStart
 			iter = n
 			break
@@ -344,4 +367,23 @@ func (ctl *Controller) runAdaptive(c *thread.Ctx, k Kernel, n, cores int, start 
 	kr.Decision = kr.Phases[0].Decision
 	kr.Cycles = c.CPU.CycleCount() - start
 	return kr
+}
+
+// execute runs one unmonitored chunk in the controller's mode: a
+// single exact chunk, or windowed sampled execution with steady-state
+// fast-forward.
+func (ctl *Controller) execute(c *thread.Ctx, k Kernel, threads, lo, hi int) {
+	if ctl.Mode.Sampled {
+		Executor{}.ExecuteSampled(c, k, threads, lo, hi, ctl.Mode.Params, ctl.st, nil)
+		return
+	}
+	Executor{}.Execute(c, k, threads, lo, hi)
+}
+
+// countTraining folds a training sample's iterations into the sampled
+// stats (training always cycle-simulates).
+func (ctl *Controller) countTraining(iters int) {
+	if ctl.st != nil {
+		ctl.st.DetailedIters += iters
+	}
 }

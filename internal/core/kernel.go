@@ -23,6 +23,29 @@ type Kernel interface {
 	RunChunk(master *thread.Ctx, n, lo, hi int)
 }
 
+// SampleUnitKernel is optionally implemented by kernels whose
+// per-iteration cost is periodic rather than homogeneous — e.g. a
+// stencil whose FDT iterations are the slabs of a repeating
+// fine/coarse phase sequence. SampleUnit returns the period in
+// iterations; sampled execution sizes and aligns its detailed windows
+// and skips to whole periods, so every window measures the same phase
+// mix it extrapolates. Exact execution ignores it.
+type SampleUnitKernel interface {
+	SampleUnit() int
+}
+
+// ExactOnlyKernel is optionally implemented by kernels that must not
+// be fast-forwarded even in sampled mode: producers whose stores warm
+// the cache working set a later kernel consumes. Skipping their
+// iterations would hand the consumer a cold, never-simulated working
+// set — a microarchitectural state the exact run can never reach — and
+// the consumer's measured windows would inherit that bias even when
+// fully detailed (the classic functional-warming gap of sampled
+// simulation). The sampled executor runs such kernels exactly.
+type ExactOnlyKernel interface {
+	SampleExactOnly() bool
+}
+
 // SetupWorkload is implemented by workloads with an initialization
 // phase that runs on the master thread before the first kernel — the
 // serial array-initialization code every real benchmark has. Besides

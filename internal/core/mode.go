@@ -1,0 +1,38 @@
+package core
+
+import "fdt/internal/sampled"
+
+// Mode selects how the controller executes a kernel's iterations:
+// exact (cycle-simulate everything — the oracle, bit-identical to the
+// pre-sampling simulator) or sampled (cycle-simulate detailed windows,
+// detect steady state, and extrapolate across homogeneous regions;
+// see internal/sampled and DESIGN.md Section 11).
+//
+// Training always runs exact — the peeled single-threaded sample is
+// at most 1% of the kernel and its counters feed Eq. 3/5/7 directly —
+// and every controller decision point lands on detailed execution, so
+// policy decisions read real counters in both modes.
+type Mode struct {
+	// Sampled enables steady-state sampled execution.
+	Sampled bool
+	// Params tunes the sampler; zero fields take sampled.DefaultParams.
+	Params sampled.Params
+}
+
+// ExactMode returns the exact (default) execution mode.
+func ExactMode() Mode { return Mode{} }
+
+// SampledMode returns sampled execution with default parameters.
+func SampledMode() Mode {
+	return Mode{Sampled: true, Params: sampled.DefaultParams()}
+}
+
+// key renders the mode's cache-key suffix. Exact mode contributes
+// nothing, keeping exact-run cache keys (and therefore exact results)
+// bit-identical to releases that predate sampling.
+func (md Mode) key() string {
+	if !md.Sampled {
+		return ""
+	}
+	return "|sampled/" + md.Params.Key()
+}

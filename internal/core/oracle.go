@@ -13,8 +13,16 @@ type Factory func(m *machine.Machine) Workload
 // the given policy — the one-call entry point used by sweeps,
 // examples and benchmarks.
 func RunPolicy(cfg machine.Config, f Factory, pol Policy) RunResult {
+	return RunPolicyMode(cfg, f, pol, ExactMode())
+}
+
+// RunPolicyMode is RunPolicy in an explicit execution mode (exact or
+// sampled; see Mode).
+func RunPolicyMode(cfg machine.Config, f Factory, pol Policy, md Mode) RunResult {
 	m := machine.MustNew(cfg)
-	return NewController(pol).Run(m, f(m))
+	ctl := NewController(pol)
+	ctl.Mode = md
+	return ctl.Run(m, f(m))
 }
 
 // Sweep runs the workload once per requested static thread count and

@@ -41,6 +41,9 @@ func runResultBytes(r RunResult) uint64 {
 			size += uint64(len(p.Trigger))
 		}
 	}
+	if r.Sampled != nil {
+		size += uint64(unsafe.Sizeof(*r.Sampled))
+	}
 	return size
 }
 
@@ -102,19 +105,33 @@ func machineContexts(cfg machine.Config) int {
 // the memoized result. An empty wkey disables caching and is
 // equivalent to RunPolicy.
 func RunPolicyKeyed(cfg machine.Config, wkey string, f Factory, pol Policy) RunResult {
+	return RunPolicyKeyedMode(cfg, wkey, f, pol, ExactMode())
+}
+
+// RunPolicyKeyedMode is RunPolicyKeyed in an explicit execution mode.
+// Sampled runs append the mode's parameters to the content address, so
+// they never collide with exact runs (whose keys are unchanged).
+func RunPolicyKeyedMode(cfg machine.Config, wkey string, f Factory, pol Policy, md Mode) RunResult {
 	if wkey == "" {
-		return RunPolicy(cfg, f, pol)
+		return RunPolicyMode(cfg, f, pol, md)
 	}
-	return runCache.Do(runKey(cfg, wkey, pol), func() RunResult {
-		return RunPolicy(cfg, f, pol)
+	return runCache.Do(runKey(cfg, wkey, pol)+md.key(), func() RunResult {
+		return RunPolicyMode(cfg, f, pol, md)
 	})
 }
 
 // RunAdaptive runs the workload on a fresh machine under a
 // phase-adaptive (monitored) controller.
 func RunAdaptive(cfg machine.Config, f Factory, pol Policy, mp MonitorParams) RunResult {
+	return RunAdaptiveMode(cfg, f, pol, mp, ExactMode())
+}
+
+// RunAdaptiveMode is RunAdaptive in an explicit execution mode.
+func RunAdaptiveMode(cfg machine.Config, f Factory, pol Policy, mp MonitorParams, md Mode) RunResult {
 	m := machine.MustNew(cfg)
-	return NewAdaptiveController(pol, mp).Run(m, f(m))
+	ctl := NewAdaptiveController(pol, mp)
+	ctl.Mode = md
+	return ctl.Run(m, f(m))
 }
 
 // RunAdaptiveKeyed is RunAdaptive through the run cache. The monitor
@@ -122,12 +139,18 @@ func RunAdaptive(cfg machine.Config, f Factory, pol Policy, mp MonitorParams) Ru
 // collides with the train-once run of the same (config, workload,
 // policy) triple — or with an adaptive run under different monitoring.
 func RunAdaptiveKeyed(cfg machine.Config, wkey string, f Factory, pol Policy, mp MonitorParams) RunResult {
+	return RunAdaptiveKeyedMode(cfg, wkey, f, pol, mp, ExactMode())
+}
+
+// RunAdaptiveKeyedMode is RunAdaptiveKeyed in an explicit execution
+// mode.
+func RunAdaptiveKeyedMode(cfg machine.Config, wkey string, f Factory, pol Policy, mp MonitorParams, md Mode) RunResult {
 	if wkey == "" {
-		return RunAdaptive(cfg, f, pol, mp)
+		return RunAdaptiveMode(cfg, f, pol, mp, md)
 	}
-	key := runKey(cfg, wkey, pol) + fmt.Sprintf("|monitor/%+v", mp)
+	key := runKey(cfg, wkey, pol) + fmt.Sprintf("|monitor/%+v", mp) + md.key()
 	return runCache.Do(key, func() RunResult {
-		return RunAdaptive(cfg, f, pol, mp)
+		return RunAdaptiveMode(cfg, f, pol, mp, md)
 	})
 }
 
@@ -136,9 +159,34 @@ func RunAdaptiveKeyed(cfg machine.Config, wkey string, f Factory, pol Policy, mp
 // pool and memoizing each point under wkey. Results are ordered by
 // thread count exactly as a serial sweep would produce them.
 func SweepKeyed(cfg machine.Config, wkey string, f Factory, threadCounts []int) []RunResult {
+	return SweepKeyedMode(cfg, wkey, f, threadCounts, ExactMode())
+}
+
+// SweepKeyedMode is SweepKeyed in an explicit execution mode.
+func SweepKeyedMode(cfg machine.Config, wkey string, f Factory, threadCounts []int, md Mode) []RunResult {
 	out := make([]RunResult, len(threadCounts))
 	runner.Map(len(threadCounts), func(i int) {
-		out[i] = RunPolicyKeyed(cfg, wkey, f, Static{N: threadCounts[i]})
+		out[i] = RunPolicyKeyedMode(cfg, wkey, f, Static{N: threadCounts[i]}, md)
 	})
 	return out
+}
+
+// RunHillClimb executes the workload under the hill-climbing
+// allocation baseline (see HillClimb). Hill-climbing measures real
+// probe chunks, so it always runs exact — sampling would falsify the
+// very measurements it climbs on.
+func RunHillClimb(cfg machine.Config, f Factory) RunResult {
+	m := machine.MustNew(cfg)
+	return HillClimb{}.Run(m, f(m))
+}
+
+// RunHillClimbKeyed is RunHillClimb through the run cache.
+func RunHillClimbKeyed(cfg machine.Config, wkey string, f Factory) RunResult {
+	if wkey == "" {
+		return RunHillClimb(cfg, f)
+	}
+	key := ConfigKey(cfg) + "|" + wkey + "|policy/hill-climb"
+	return runCache.Do(key, func() RunResult {
+		return RunHillClimb(cfg, f)
+	})
 }

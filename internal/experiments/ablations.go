@@ -45,10 +45,10 @@ func (a Ablation) String() string {
 	return b.String()
 }
 
-func ablationRow(cfgName, workload string, cfg machine.Config, pol core.Policy) AblationRow {
+func ablationRow(cfgName, workload string, cfg machine.Config, pol core.Policy, md core.Mode) AblationRow {
 	// Keyed by workload name; the machine fingerprint in the cache key
 	// keeps each ablation's config variant distinct.
-	r := core.RunPolicyKeyed(cfg, workload, factory(workload), pol)
+	r := core.RunPolicyKeyedMode(cfg, workload, factory(workload), pol, md)
 	k := r.Kernels[0]
 	return AblationRow{
 		Config:     cfgName,
@@ -69,8 +69,8 @@ func AblationRowBuffer(o Options) Ablation {
 	off := o.Cfg
 	off.Mem.ModelRowBuffer = false
 	a.Rows = append(a.Rows,
-		ablationRow("row-buffer on", "ed", on, core.BAT{}),
-		ablationRow("row-buffer off", "ed", off, core.BAT{}),
+		ablationRow("row-buffer on", "ed", on, core.BAT{}, o.Mode),
+		ablationRow("row-buffer off", "ed", off, core.BAT{}, o.Mode),
 	)
 	return a
 }
@@ -84,8 +84,8 @@ func AblationCoherence(o Options) Ablation {
 	off := o.Cfg
 	off.Mem.ModelCoherence = false
 	a.Rows = append(a.Rows,
-		ablationRow("coherence on", "pagemine", on, core.SAT{}),
-		ablationRow("coherence off", "pagemine", off, core.SAT{}),
+		ablationRow("coherence on", "pagemine", on, core.SAT{}, o.Mode),
+		ablationRow("coherence off", "pagemine", off, core.SAT{}, o.Mode),
 	)
 	return a
 }
@@ -101,7 +101,7 @@ func AblationStoreBuffer(o Options) Ablation {
 		cfg := o.Cfg
 		cfg.Mem.StoreBufferEntries = entries
 		a.Rows = append(a.Rows,
-			ablationRow(fmt.Sprintf("store buffer %d", entries), "transpose", cfg, core.BAT{}))
+			ablationRow(fmt.Sprintf("store buffer %d", entries), "transpose", cfg, core.BAT{}, o.Mode))
 	}
 	return a
 }
@@ -114,6 +114,7 @@ func AblationStabilityWindow(o Options) Ablation {
 	for _, w := range []int{0, 3, 6} {
 		pol := core.SAT{}
 		ctl := core.NewController(pol)
+		ctl.Mode = o.Mode
 		ctl.Params.StabilityWindow = w
 		m := machine.MustNew(o.Cfg)
 		info := factory("isort")
@@ -139,7 +140,7 @@ func AblationStabilityWindow(o Options) Ablation {
 func AblationTrainingOverhead(o Options) Ablation {
 	a := Ablation{Title: "FDT training vs hill-climbing allocation search"}
 	for _, name := range []string{"pagemine", "ed", "bscholes"} {
-		fdt := core.RunPolicyKeyed(o.Cfg, name, factory(name), core.Combined{})
+		fdt := core.RunPolicyKeyedMode(o.Cfg, name, factory(name), core.Combined{}, o.Mode)
 		m := machine.MustNew(o.Cfg)
 		hc := core.HillClimb{}.Run(m, factory(name)(m))
 		a.Rows = append(a.Rows,
@@ -166,7 +167,7 @@ func AblationTrainingOverhead(o Options) Ablation {
 func AblationRefinedBAT(o Options) Ablation {
 	a := Ablation{Title: "BAT vs refined BAT (future work, Section 9)"}
 	for _, name := range []string{"ed", "convert", "transpose"} {
-		plain := core.RunPolicyKeyed(o.Cfg, name, factory(name), core.BAT{})
+		plain := core.RunPolicyKeyedMode(o.Cfg, name, factory(name), core.BAT{}, o.Mode)
 		m := machine.MustNew(o.Cfg)
 		refined := core.RefinedBAT{}.Run(m, factory(name)(m))
 		a.Rows = append(a.Rows,
@@ -197,8 +198,8 @@ func AblationPrefetcher(o Options) Ablation {
 	on := o.Cfg
 	on.Mem.PrefetchNextLine = true
 	a.Rows = append(a.Rows,
-		ablationRow("no prefetcher (paper)", "ed", off, core.BAT{}),
-		ablationRow("next-line prefetcher", "ed", on, core.BAT{}),
+		ablationRow("no prefetcher (paper)", "ed", off, core.BAT{}, o.Mode),
+		ablationRow("next-line prefetcher", "ed", on, core.BAT{}, o.Mode),
 	)
 	return a
 }
@@ -214,8 +215,8 @@ func AblationPrefetcher(o Options) Ablation {
 func AblationAdaptive(o Options) Ablation {
 	a := Ablation{Title: "train-once vs phase-adaptive FDT (phaseshift)"}
 	const name = "phaseshift"
-	once := core.RunPolicyKeyed(o.Cfg, name, factory(name), core.Combined{})
-	ad := core.RunAdaptiveKeyed(o.Cfg, name, factory(name), core.Combined{}, core.DefaultMonitorParams())
+	once := core.RunPolicyKeyedMode(o.Cfg, name, factory(name), core.Combined{}, o.Mode)
+	ad := core.RunAdaptiveKeyedMode(o.Cfg, name, factory(name), core.Combined{}, core.DefaultMonitorParams(), o.Mode)
 	ok, ak := once.Kernels[0], ad.Kernels[0]
 	a.Rows = append(a.Rows,
 		AblationRow{

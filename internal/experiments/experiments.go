@@ -24,6 +24,9 @@ type Options struct {
 	// SweepThreads are the static thread counts swept for baseline
 	// curves and the oracle. Defaults to 1..cores.
 	SweepThreads []int
+	// Mode selects exact or sampled execution for every run the
+	// experiment performs (zero value = exact; see core.Mode).
+	Mode core.Mode
 }
 
 // DefaultOptions returns the paper's setup: the Table-1 machine and a
@@ -72,7 +75,7 @@ type Curve struct {
 // runNamed executes (or recalls) a registered workload under a policy
 // through the process-wide run cache, keyed by the workload name.
 func runNamed(o Options, name string, pol core.Policy) core.RunResult {
-	return core.RunPolicyKeyed(o.Cfg, name, factory(name), pol)
+	return core.RunPolicyKeyedMode(o.Cfg, name, factory(name), pol, o.Mode)
 }
 
 // sweep produces a Curve for a workload. Sweep points are simulated in
@@ -81,7 +84,7 @@ func runNamed(o Options, name string, pol core.Policy) core.RunResult {
 // each point once per process.
 func sweep(o Options, name string) Curve {
 	ts := o.threads()
-	runs := core.SweepKeyed(o.Cfg, name, factory(name), ts)
+	runs := core.SweepKeyedMode(o.Cfg, name, factory(name), ts, o.Mode)
 	base := runs[0].TotalCycles
 	c := Curve{Workload: name}
 	times := make([]uint64, len(runs))

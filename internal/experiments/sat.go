@@ -76,13 +76,13 @@ func RunFig09(o Options) Fig09 {
 	runner.Map(len(Fig09PageSizes), func(i int) {
 		pb := Fig09PageSizes[i]
 		fac, wkey := pageMineSized(pb)
-		runs := core.SweepKeyed(o.Cfg, wkey, fac, o.threads())
+		runs := core.SweepKeyedMode(o.Cfg, wkey, fac, o.threads(), o.Mode)
 		times := make([]uint64, len(runs))
 		for j, r := range runs {
 			times[j] = r.TotalCycles
 		}
 		best := o.threads()[fewestIdx(times)]
-		sat := core.RunPolicyKeyed(o.Cfg, wkey, fac, core.SAT{})
+		sat := core.RunPolicyKeyedMode(o.Cfg, wkey, fac, core.SAT{}, o.Mode)
 		f.PageBytes[i] = pb
 		f.BestThreads[i] = best
 		f.SATThreads[i] = chosenThreads(sat)
@@ -142,7 +142,7 @@ func RunFig10(o Options) Fig10 {
 	run := func(pageBytes int) (Curve, PolicyPoint) {
 		fac, wkey := pageMineSized(pageBytes)
 		ts := o.threads()
-		runs := core.SweepKeyed(o.Cfg, wkey, fac, ts)
+		runs := core.SweepKeyedMode(o.Cfg, wkey, fac, ts, o.Mode)
 		c := Curve{Workload: fmt.Sprintf("pagemine-%dB", pageBytes)}
 		base := runs[0].TotalCycles
 		times := make([]uint64, len(runs))
@@ -158,7 +158,7 @@ func RunFig10(o Options) Fig10 {
 		}
 		idx := fewestIdx(times)
 		c.MinThreads, c.MinCycles = ts[idx], times[idx]
-		sat := core.RunPolicyKeyed(o.Cfg, wkey, fac, core.SAT{})
+		sat := core.RunPolicyKeyedMode(o.Cfg, wkey, fac, core.SAT{}, o.Mode)
 		pp := PolicyPoint{
 			Policy:   "SAT",
 			Run:      sat,

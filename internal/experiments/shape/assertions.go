@@ -168,9 +168,9 @@ func Assertions() []Assertion {
 			Check: func(o experiments.Options) error {
 				prod, n := 1.0, 0
 				for _, info := range workloads.All() {
-					fdt := core.RunPolicyKeyed(o.Cfg, info.Name, info.Factory, core.Combined{}).TotalCycles
-					sat := core.RunPolicyKeyed(o.Cfg, info.Name, info.Factory, core.SAT{}).TotalCycles
-					bat := core.RunPolicyKeyed(o.Cfg, info.Name, info.Factory, core.BAT{}).TotalCycles
+					fdt := core.RunPolicyKeyedMode(o.Cfg, info.Name, info.Factory, core.Combined{}, o.Mode).TotalCycles
+					sat := core.RunPolicyKeyedMode(o.Cfg, info.Name, info.Factory, core.SAT{}, o.Mode).TotalCycles
+					bat := core.RunPolicyKeyedMode(o.Cfg, info.Name, info.Factory, core.BAT{}, o.Mode).TotalCycles
 					best := sat
 					if bat < best {
 						best = bat
@@ -213,7 +213,7 @@ func Assertions() []Assertion {
 				if !ok {
 					return fmt.Errorf("phaseshift workload not registered")
 				}
-				r := core.RunAdaptiveKeyed(o.Cfg, "phaseshift", info.Factory, core.Combined{}, core.DefaultMonitorParams())
+				r := core.RunAdaptiveKeyedMode(o.Cfg, "phaseshift", info.Factory, core.Combined{}, core.DefaultMonitorParams(), o.Mode)
 				if len(r.Kernels) != 1 {
 					return fmt.Errorf("phaseshift: %d kernels, want 1", len(r.Kernels))
 				}

@@ -10,18 +10,26 @@ package experiments_test
 // shape_full_test.go.
 
 import (
+	"os"
 	"testing"
 
+	"fdt/internal/core"
 	"fdt/internal/experiments"
 	"fdt/internal/experiments/shape"
 )
 
 // fastOptions mirrors testOptions in experiments_test.go: the
 // 13-point sweep that keeps tier-1 cheap while preserving every
-// curve's shape.
+// curve's shape. With FDT_SAMPLED=1 in the environment every run
+// executes in sampled mode — CI's sampled-shapes job uses this to
+// assert the paper's figure shapes survive steady-state
+// extrapolation (the errors TestSampledErrorGate bounds).
 func fastOptions() experiments.Options {
 	o := experiments.DefaultOptions()
 	o.SweepThreads = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 24, 32}
+	if os.Getenv("FDT_SAMPLED") != "" {
+		o.Mode = core.SampledMode()
+	}
 	return o
 }
 

@@ -1,0 +1,50 @@
+package machine
+
+import (
+	"fdt/internal/mem"
+	"fdt/internal/sim"
+)
+
+// Checkpoint is a machine's complete observable state at a quiescent
+// point: the simulated clock, every performance counter, the power
+// meter's per-core integrals, and the memory system's deep state
+// (cache tag arrays, directory, DRAM row buffers and schedules, bus
+// schedule, store buffers, heap cursor).
+//
+// Goroutine stacks cannot be snapshotted, so checkpoints are only
+// valid at quiescence — between thread.Run invocations (kernel
+// boundaries) or after a run completes — where no simulation process
+// is mid-flight and the state above is the whole state. Restoring
+// into a fresh machine of the same Config and re-running the same
+// remaining work reproduces the uninterrupted execution cycle for
+// cycle (see the checkpoint determinism tests in internal/core).
+type Checkpoint struct {
+	Now      uint64
+	Counters map[string]uint64
+	Power    []uint64
+	Mem      *mem.State
+}
+
+// Checkpoint captures the machine's state. Call only at quiescence:
+// every hardware context free except none occupied mid-run, no
+// simulation processes live.
+func (m *Machine) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		Now:      m.Eng.Now(),
+		Counters: m.Ctrs.Checkpoint(),
+		Power:    m.Power.PerCore(),
+		Mem:      m.Mem.Checkpoint(),
+	}
+}
+
+// RestoreCheckpoint overwrites the machine's state from a checkpoint
+// taken on a machine with an identical Config. The engine is replaced
+// with a fresh one whose clock starts at the checkpoint time, so a
+// subsequent thread.Run continues the simulation where the
+// checkpointed one left off.
+func (m *Machine) RestoreCheckpoint(cp *Checkpoint) {
+	m.Eng = sim.NewEngineAt(cp.Now)
+	m.Ctrs.Restore(cp.Counters)
+	m.Power.Restore(cp.Power)
+	m.Mem.Restore(cp.Mem)
+}

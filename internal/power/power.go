@@ -39,6 +39,26 @@ func (m *Meter) AddActive(core int, from, to uint64) {
 	m.perCore[core] += to - from
 }
 
+// AddActiveCycles credits core with cycles of activity without an
+// interval: the sampled-execution runtime's analytic extrapolation,
+// which knows how many active cycles a skipped region contributes but
+// not a concrete [from, to) span.
+func (m *Meter) AddActiveCycles(core int, cycles uint64) {
+	if core < 0 || core >= m.cores {
+		panic(fmt.Sprintf("power: core %d out of range [0,%d)", core, m.cores))
+	}
+	m.perCore[core] += cycles
+}
+
+// Restore overwrites the per-core integrals from a checkpoint. The
+// slice must have exactly one entry per core.
+func (m *Meter) Restore(perCore []uint64) {
+	if len(perCore) != m.cores {
+		panic(fmt.Sprintf("power: restoring %d cores into a %d-core meter", len(perCore), m.cores))
+	}
+	copy(m.perCore, perCore)
+}
+
 // ActiveCoreCycles reports the total core-cycles of activity.
 func (m *Meter) ActiveCoreCycles() uint64 {
 	var sum uint64

@@ -80,6 +80,26 @@ func (c *Ctx) StoreRange(base uint64, bytes int) { c.CPU.StoreRange(base, bytes)
 // FDT pipeline's executor asserts this before every chunk.
 func (c *Ctx) AtDecisionPoint() bool { return c.ID == 0 && c.Size == 1 }
 
+// FastForward advances the master's clock by d cycles without
+// executing work — the sampled-execution runtime's analytic skip
+// across a steady-state region. Only legal at a decision point: with
+// no team forked, warping the master's clock cannot desynchronize
+// in-flight workers. The skipped span counts as active occupancy for
+// the power metric (the master context stays occupied throughout) and
+// as Idle in the conservation ledger — though in practice the ledger
+// never sees a fast-forward, because invariant-checked runs force
+// exact mode.
+func (c *Ctx) FastForward(d uint64) {
+	if !c.AtDecisionPoint() {
+		panic("thread: FastForward outside a decision point")
+	}
+	if d == 0 {
+		return
+	}
+	c.CPU.Proc().Advance(d)
+	c.led.AddIdle(d)
+}
+
 // Range block-distributes the half-open interval [lo, hi) across the
 // team and returns this thread's sub-interval — OpenMP's static
 // schedule.
@@ -117,7 +137,11 @@ func newCtx(m *machine.Machine, id, size, hwCtx int, p *sim.Proc) *Ctx {
 // power. The master is active for the whole execution, like the
 // initial thread of an OpenMP program.
 func Run(m *machine.Machine, main func(c *Ctx)) {
-	m.OccupyContext(0, 0)
+	// Occupy from the engine's current time, not 0: on a fresh machine
+	// they are the same, and on a checkpoint-restored machine (clock
+	// warped forward) the master's active span must start at the
+	// restore point.
+	m.OccupyContext(0, m.Eng.Now())
 	var done uint64
 	m.Eng.Spawn("master", func(p *sim.Proc) {
 		main(newCtx(m, 0, 1, 0, p))

@@ -122,6 +122,12 @@ type mtGenKernel struct{ w *MTwister }
 func (k *mtGenKernel) Name() string    { return "mtwister/gen" }
 func (k *mtGenKernel) Iterations() int { return k.w.blocks() }
 
+// SampleExactOnly implements core.ExactOnlyKernel: the uniform array
+// this kernel stores is the Box-Muller kernel's cache-resident input,
+// so fast-forwarding generation would hand the transform a cold
+// working set the exact run never sees.
+func (k *mtGenKernel) SampleExactOnly() bool { return true }
+
 func (k *mtGenKernel) RunChunk(master *thread.Ctx, n, lo, hi int) {
 	w := k.w
 	master.Fork(n, func(tc *thread.Ctx) {

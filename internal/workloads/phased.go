@@ -40,6 +40,12 @@ func (k *phasedKernel) slabsPerStep() int {
 // Iterations implements core.Kernel.
 func (k *phasedKernel) Iterations() int { return k.steps * k.slabsPerStep() }
 
+// SampleUnit implements core.SampleUnitKernel: iteration costs repeat
+// with the period of one full step (the slabs of every phase), so
+// sampled windows and skips must cover whole steps to measure the
+// phase mix they extrapolate.
+func (k *phasedKernel) SampleUnit() int { return k.slabsPerStep() }
+
 // locate maps a global iteration index to its phase and the slab
 // offset within it.
 func (k *phasedKernel) locate(it int) (phaseIdx, slab int) {
