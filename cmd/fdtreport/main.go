@@ -36,7 +36,9 @@ import (
 
 	"fdt/internal/core"
 	"fdt/internal/experiments"
+	"fdt/internal/machine"
 	"fdt/internal/runner"
+	"fdt/internal/workloads"
 )
 
 func main() {
@@ -49,7 +51,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fdtreport", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		only      = fs.String("only", "", "run a single experiment: table1, table2, fig2, fig4, fig8, fig9, fig10, fig12, fig13, fig14, fig15, smt, trainingcost, ablations")
+		only      = fs.String("only", "", "run a single experiment: table1, table2, fig2, fig4, fig8, fig9, fig10, fig12, fig13, fig14, fig15, smt, trainingcost, ablations, interference")
+		corunPair = fs.String("corun", "", "restrict the interference family to one \"a+b\" pair (implies -only interference)")
+		mapStr    = fs.String("mapping", "", "restrict the interference family to one mapping: packed, scattered, smt")
 		fast      = fs.Bool("fast", false, "sweep a reduced set of thread counts")
 		csvDir    = fs.String("csv", "", "directory to write per-figure CSV files into")
 		jsonDir   = fs.String("json", "", "directory to write per-experiment JSON files into")
@@ -60,6 +64,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *corunPair != "" {
+		if _, _, err := workloads.ParsePair(*corunPair); err != nil {
+			fmt.Fprintln(stderr, "fdtreport:", err)
+			return 2
+		}
+	}
+	if *mapStr != "" {
+		if _, err := machine.ParseMapping(*mapStr); err != nil {
+			fmt.Fprintln(stderr, "fdtreport:", err)
+			return 2
+		}
 	}
 
 	runner.SetWorkers(*parallel)
@@ -100,6 +116,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			t := experiments.RunTrainingCost(o)
 			return t.String(), t.CSV(), t
 		}},
+		{"interference", func() (string, string, any) {
+			f, err := runInterference(o, *corunPair, *mapStr)
+			if err != nil {
+				return "interference: " + err.Error(), "", nil
+			}
+			return f.String(), f.CSV(), f
+		}},
 		{"ablations", func() (string, string, any) {
 			as := experiments.RunAblations(o)
 			var texts, csvs []string
@@ -122,6 +145,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	want := strings.ToLower(strings.TrimSpace(*only))
+	if want == "" && (*corunPair != "" || *mapStr != "") {
+		// A pair or mapping restriction only affects the interference
+		// family; don't re-run everything else around it.
+		want = "interference"
+	}
 	found := false
 	for _, r := range runners {
 		if want != "" && r.name != want {
@@ -169,4 +197,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "[%d workers; run cache: %d hits / %d misses (%.1f%% hit rate), %d entries ~%.1f KiB, %d evictions]\n",
 		runner.Workers(), hits, misses, rate, entries, float64(bytes)/1024, evictions)
 	return 0
+}
+
+// runInterference applies the -corun / -mapping restrictions to the
+// interference family (nil = family defaults).
+func runInterference(o experiments.Options, pair, mapStr string) (experiments.Interference, error) {
+	var pairs [][2]string
+	if pair != "" {
+		a, b, err := workloads.ParsePair(pair)
+		if err != nil {
+			return experiments.Interference{}, err
+		}
+		pairs = [][2]string{{a.Name, b.Name}}
+	}
+	var mappings []machine.Mapping
+	if mapStr != "" {
+		mp, err := machine.ParseMapping(mapStr)
+		if err != nil {
+			return experiments.Interference{}, err
+		}
+		mappings = []machine.Mapping{mp}
+	}
+	return experiments.RunInterferencePairs(o, pairs, mappings), nil
 }

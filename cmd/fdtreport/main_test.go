@@ -13,6 +13,9 @@ func TestBadInvocations(t *testing.T) {
 	cases := [][]string{
 		{"-only", "nosuchfig"},
 		{"-nosuchflag"},
+		{"-corun", "nosuch+mg"},
+		{"-corun", "pagemine"},
+		{"-mapping", "nosuch"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
@@ -32,6 +35,34 @@ func TestTablesOnly(t *testing.T) {
 		if !strings.Contains(out.String(), "Table") {
 			t.Errorf("-only %s output missing a table header:\n%s", name, out.String())
 		}
+	}
+}
+
+func TestInterferenceRestricted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full co-run simulations")
+	}
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	// -corun without -only implies the interference family alone.
+	args := []string{"-corun", "ed+convert", "-mapping", "packed", "-csv", dir}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Co-runner interference", "ed + convert", "packed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "Figure 2") {
+		t.Error("-corun should not run the figure experiments")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "interference.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "pair,workload,") {
+		t.Errorf("interference.csv missing header: %q", string(csv[:min(len(csv), 40)]))
 	}
 }
 

@@ -46,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		workload  = fs.String("workload", "pagemine", "workload name (see -list)")
+		corun     = fs.String("corun", "", "co-schedule two workloads as \"a+b\" (overrides -workload; see -list)")
+		mapping   = fs.String("mapping", "packed", "thread-to-core mapping for -corun: packed, scattered, smt")
 		policy    = fs.String("policy", "sat+bat", "threading policy: sat, bat, sat+bat, static")
 		threads   = fs.Int("threads", 0, "thread count for -policy static (0 = all cores)")
 		cores     = fs.Int("cores", 32, "cores on the simulated chip")
@@ -65,17 +67,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
-		fmt.Fprintf(stdout, "%-10s %-12s %-28s %s\n", "NAME", "CLASS", "PROBLEM", "INPUT")
-		for _, info := range workloads.All() {
-			fmt.Fprintf(stdout, "%-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
-		}
+		printList(stdout)
 		return 0
 	}
 
-	info, ok := workloads.ByName(*workload)
-	if !ok {
-		fmt.Fprintf(stderr, "fdtsim: unknown workload %q (try -list)\n", *workload)
-		return 2
+	var info workloads.Info
+	if *corun == "" {
+		var ok bool
+		info, ok = workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(stderr, "fdtsim: unknown workload %q (try -list)\n", *workload)
+			return 2
+		}
 	}
 	hillClimb := false
 	var pol core.Policy
@@ -126,6 +129,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ck = invariant.New()
 		m.AttachChecker(ck)
 	}
+
+	if *corun != "" {
+		if hillClimb {
+			fmt.Fprintln(stderr, "fdtsim: -policy hillclimb does not support -corun (its probes own the whole machine)")
+			return 2
+		}
+		return runCorun(m, *corun, *mapping, pol, md, *verify, *dumpCtrs, ck, samples, stdout, stderr)
+	}
+
 	w := info.Factory(m)
 	var res core.RunResult
 	if hillClimb {
@@ -212,6 +224,133 @@ func writeChromeFile(path string, tr *trace.Tracer, meta map[string]string) erro
 		return err
 	}
 	return f.Close()
+}
+
+// runCorun executes a co-scheduled pair — each workload its own
+// thread team under the mapping, each with an independent controller
+// of the requested policy — and prints the makespan plus a per-tenant
+// report.
+func runCorun(m *machine.Machine, pair, mapping string, pol core.Policy, md core.Mode,
+	verify, dumpCtrs bool, ck *invariant.Checker, samples *machine.SampleLog, stdout, stderr io.Writer) int {
+	a, b, err := workloads.ParsePair(pair)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdtsim: %v (try -list)\n", err)
+		return 2
+	}
+	mp, err := machine.ParseMapping(mapping)
+	if err != nil {
+		fmt.Fprintln(stderr, "fdtsim:", err)
+		return 2
+	}
+
+	// Wrap the factories to keep the built instances for -verify
+	// (RunCorunOn instantiates them serially).
+	var built []core.Workload
+	spec := func(info workloads.Info) core.TeamSpec {
+		return core.TeamSpec{
+			Workload: info.Name,
+			Factory: func(mm *machine.Machine) core.Workload {
+				w := info.Factory(mm)
+				built = append(built, w)
+				return w
+			},
+			Policy: pol,
+		}
+	}
+	res, err := core.RunCorunOn(m, mp, []core.TeamSpec{spec(a), spec(b)}, md)
+	if err != nil {
+		fmt.Fprintln(stderr, "fdtsim:", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "corun      %s + %s (mapping %s)\n", a.Name, b.Name, res.Mapping)
+	fmt.Fprintf(stdout, "policy     %s\n", pol.Name())
+	fmt.Fprintf(stdout, "machine    %d cores\n", m.Cfg.Mem.Cores)
+	fmt.Fprintf(stdout, "makespan   %d cycles\n", res.TotalCycles)
+	fmt.Fprintf(stdout, "power      %.2f avg active cores (whole machine)\n", res.AvgActiveCores)
+	fmt.Fprintf(stdout, "bus busy   %d cycles (%.1f%% of makespan)\n",
+		res.BusBusyCycles, 100*float64(res.BusBusyCycles)/float64(res.TotalCycles))
+	for _, t := range res.Teams {
+		fmt.Fprintf(stdout, "team %-14s time=%-10d power=%-6.2f avgthreads=%-5.1f bus share=%.1f%%\n",
+			t.Team, t.TotalCycles, t.AvgActiveCores, t.AvgThreads(), 100*t.BusShare)
+		for _, k := range t.Kernels {
+			d := k.Decision
+			fmt.Fprintf(stdout, "  kernel %-20s threads=%-3d pcs=%-3d pbw=%-3d csfrac=%.3f%% bu1=%.2f%% train=%d iters (%d cyc) total=%d cyc\n",
+				k.Kernel, d.Threads, d.PCS, d.PBW, 100*d.CSFraction, 100*d.BusUtil1, k.TrainIters, k.TrainCycles, k.Cycles)
+		}
+	}
+
+	if dumpCtrs {
+		fmt.Fprintf(stdout, "counters   %s\n", m.Ctrs)
+	}
+	if samples != nil {
+		fmt.Fprintln(stdout, samples)
+	}
+	if ck != nil {
+		fmt.Fprintf(stdout, "invariants %s\n", ck.Report())
+		if err := ck.Err(); err != nil {
+			fmt.Fprintln(stderr, "fdtsim:", err)
+			return 1
+		}
+	}
+	if verify {
+		sampled := false
+		for _, t := range res.Teams {
+			if t.Sampled != nil {
+				sampled = true
+			}
+		}
+		if sampled {
+			fmt.Fprintln(stdout, "verify     skipped (sampled run: extrapolated iterations compute no results)")
+		} else {
+			for _, w := range built {
+				if v, ok := w.(workloads.Verifier); ok {
+					if err := v.Verify(); err != nil {
+						fmt.Fprintf(stdout, "verify     %s FAIL: %v\n", w.Name(), err)
+						return 1
+					}
+					fmt.Fprintf(stdout, "verify     %s ok\n", w.Name())
+				} else {
+					fmt.Fprintf(stdout, "verify     %s (no verifier)\n", w.Name())
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// printList renders the full `fdtsim -list` inventory: workloads,
+// synthetic extras, combinators, policies, mappings and execution
+// modes.
+func printList(stdout io.Writer) {
+	fmt.Fprintln(stdout, "WORKLOADS (Table 2)")
+	fmt.Fprintf(stdout, "  %-10s %-12s %-28s %s\n", "NAME", "CLASS", "PROBLEM", "INPUT")
+	for _, info := range workloads.All() {
+		fmt.Fprintf(stdout, "  %-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
+	}
+	fmt.Fprintln(stdout, "\nEXTRAS (synthetic, outside Table 2)")
+	for _, info := range workloads.Extras() {
+		fmt.Fprintf(stdout, "  %-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
+	}
+	fmt.Fprintln(stdout, "\nCOMBINATORS")
+	fmt.Fprintf(stdout, "  %-10s %s\n", "corun", "co-schedule two workloads as concurrent teams: -corun a+b (e.g. pagemine+mg)")
+	fmt.Fprintln(stdout, "\nPOLICIES (-policy)")
+	for _, p := range [][2]string{
+		{"sat", "synchronization-aware threading: Eq. 3 from trained critical-section time"},
+		{"bat", "bandwidth-aware threading: Eq. 5 from trained bus utilization"},
+		{"sat+bat", "combined FDT: min of both estimates, Eq. 7 (aliases: combined, fdt)"},
+		{"static", "fixed thread count: -threads N (0 = all cores)"},
+		{"hillclimb", "model-free baseline: times real chunks and climbs to a local optimum"},
+	} {
+		fmt.Fprintf(stdout, "  %-10s %s\n", p[0], p[1])
+	}
+	fmt.Fprintln(stdout, "\nMAPPINGS (-mapping, with -corun)")
+	for _, mp := range machine.Mappings() {
+		fmt.Fprintf(stdout, "  %-10s %s\n", mp, mp.Describe())
+	}
+	fmt.Fprintln(stdout, "\nMODES")
+	fmt.Fprintf(stdout, "  %-10s %s\n", "exact", "every cycle simulated (default)")
+	fmt.Fprintf(stdout, "  %-10s %s\n", "sampled", "steady-state fast-forward: -sampled, tuned by -sample-tol/-sample-window")
 }
 
 func parsePolicy(name string, threads int) (core.Policy, error) {

@@ -14,7 +14,14 @@ func TestListWorkloads(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
-	for _, want := range []string{"NAME", "pagemine", "ed", "mtwister"} {
+	for _, want := range []string{
+		"WORKLOADS", "NAME", "pagemine", "ed", "mtwister",
+		"EXTRAS", "busburst", "phaseshift",
+		"COMBINATORS", "corun",
+		"POLICIES", "sat+bat", "hillclimb",
+		"MAPPINGS", "packed", "scattered", "smt",
+		"MODES", "exact", "sampled",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing %q", want)
 		}
@@ -27,6 +34,11 @@ func TestBadInvocations(t *testing.T) {
 		{"-policy", "nosuch"},
 		{"-nosuchflag"},
 		{"-threads", "notanumber"},
+		{"-corun", "nosuch+mg"},
+		{"-corun", "pagemine"},
+		{"-corun", "pagemine+mg", "-mapping", "nosuch"},
+		{"-corun", "pagemine+mg", "-policy", "hillclimb"},
+		{"-corun", "pagemine+mg", "-mapping", "smt"}, // 1 SMT plane, 2 teams
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
@@ -50,6 +62,25 @@ func TestRunReportAndCheck(t *testing.T) {
 		"invariants ok (", "verify     ok"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCorunReportAndCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated co-run")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-corun", "pagemine+mg", "-mapping", "scattered",
+		"-cores", "8", "-check", "-counters"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"corun      pagemine + mg (mapping scattered)",
+		"makespan", "team t0:pagemine", "team t1:mg", "bus share",
+		"invariants ok (", "verify     pagemine ok", "verify     mg ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("co-run report missing %q in:\n%s", want, out.String())
 		}
 	}
 }

@@ -40,6 +40,8 @@ import (
 func main() {
 	var (
 		workload  = flag.String("workload", "ed", "workload name")
+		corun     = flag.String("corun", "", "co-schedule two workloads as \"a+b\" and sweep the mapping dimension instead of thread counts")
+		mapStr    = flag.String("mapping", "", "with -corun: sweep only this mapping (packed, scattered, smt; default all valid)")
 		threadStr = flag.String("threads", "", "comma-separated static thread counts (default 1..cores)")
 		cores     = flag.Int("cores", 32, "cores on the simulated chip")
 		bandwidth = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
@@ -60,6 +62,11 @@ func main() {
 		md.Params.Tol = *sampleTol
 		md.Params.WindowIters = *sampleWin
 		md.Params = md.Params.WithDefaults()
+	}
+
+	if *corun != "" {
+		cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
+		os.Exit(runCorunSweep(cfg, *corun, *mapStr, md, *jsonPath))
 	}
 
 	info, ok := workloads.ByName(*workload)
@@ -179,6 +186,93 @@ func main() {
 	}
 	fmt.Printf("# [%d workers; run cache: %d hits / %d misses (%.1f%% hit rate)]\n",
 		runner.Workers(), hits, misses, rate)
+}
+
+// runCorunSweep is the -corun mode: instead of the thread dimension,
+// sweep the thread-to-core mapping dimension for a co-scheduled pair.
+// Every mapping row reports each tenant solo on its partition (the
+// interference-free control) against the co-run, under combined
+// SAT+BAT controllers.
+func runCorunSweep(cfg machine.Config, pair, mapStr string, md core.Mode, jsonPath string) int {
+	a, b, err := workloads.ParsePair(pair)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+		return 2
+	}
+	mappings := []machine.Mapping{machine.MapPacked, machine.MapScattered, machine.MapSMT}
+	if mapStr != "" {
+		mp, err := machine.ParseMapping(mapStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+			return 2
+		}
+		mappings = []machine.Mapping{mp}
+	}
+
+	specs := []core.TeamSpec{
+		{Workload: a.Name, Factory: a.Factory, Policy: core.Combined{}},
+		{Workload: b.Name, Factory: b.Factory, Policy: core.Combined{}},
+	}
+	fmt.Printf("# corun %s + %s on %d cores under sat+bat (solo runs use the same partition, empty machine)\n",
+		a.Name, b.Name, cfg.Mem.Cores)
+	fmt.Printf("%-10s %-10s %12s %12s %9s %8s %8s %9s\n",
+		"mapping", "workload", "solo.cyc", "corun.cyc", "slowdown", "thr.solo", "thr.co", "bus.share")
+	out := corunSweepJSON{PairA: a.Name, PairB: b.Name, Cores: cfg.Mem.Cores}
+	for _, mp := range mappings {
+		co, err := core.RunCorun(cfg, mp, specs, md)
+		if err != nil {
+			// An invalid mapping for this config (e.g. smt without
+			// planes) is only an error when explicitly requested.
+			if mapStr != "" {
+				fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+				return 2
+			}
+			continue
+		}
+		row := corunSweepRow{Mapping: mp.String(), Makespan: co.TotalCycles, Corun: co}
+		for i := range specs {
+			solo, err := core.RunSolo(cfg, mp, len(specs), i, specs[i], md)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+				return 2
+			}
+			ct := co.Teams[i]
+			slow := 0.0
+			if solo.TotalCycles > 0 {
+				slow = 100 * (float64(ct.TotalCycles)/float64(solo.TotalCycles) - 1)
+			}
+			fmt.Printf("%-10s %-10s %12d %12d %8.1f%% %8.1f %8.1f %8.1f%%\n",
+				mp, specs[i].Workload, solo.TotalCycles, ct.TotalCycles, slow,
+				solo.AvgThreads(), ct.AvgThreads(), 100*ct.BusShare)
+			row.Solo = append(row.Solo, solo)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, out); err != nil {
+			fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+			return 1
+		}
+	}
+	hits, misses := core.RunCacheStats()
+	fmt.Printf("# [run cache: %d hits / %d misses]\n", hits, misses)
+	return 0
+}
+
+// corunSweepJSON is the -corun -json payload: one row per mapping
+// with the co-run result and each tenant's solo control.
+type corunSweepJSON struct {
+	PairA string          `json:"pair_a"`
+	PairB string          `json:"pair_b"`
+	Cores int             `json:"cores"`
+	Rows  []corunSweepRow `json:"rows"`
+}
+
+type corunSweepRow struct {
+	Mapping  string            `json:"mapping"`
+	Makespan uint64            `json:"makespan"`
+	Corun    core.CorunResult  `json:"corun"`
+	Solo     []core.TeamResult `json:"solo"`
 }
 
 // sweepJSON is fdtsweep's machine-readable output: the full RunResult

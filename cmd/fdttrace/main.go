@@ -45,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		workload  = fs.String("workload", "phaseshift", "workload name (see -list)")
+		corun     = fs.String("corun", "", "trace two co-scheduled workloads as \"a+b\" (overrides -workload)")
+		mapping   = fs.String("mapping", "packed", "thread-to-core mapping for -corun: packed, scattered, smt")
 		policy    = fs.String("policy", "adaptive", "threading policy: sat, bat, sat+bat, static, adaptive")
 		threads   = fs.Int("threads", 0, "thread count for -policy static (0 = all cores)")
 		cores     = fs.Int("cores", 32, "cores on the simulated chip")
@@ -78,10 +80,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	info, ok := workloads.ByName(*workload)
-	if !ok {
-		fmt.Fprintf(stderr, "fdttrace: unknown workload %q (try -list)\n", *workload)
-		return 2
+	var info workloads.Info
+	if *corun == "" {
+		var ok bool
+		info, ok = workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(stderr, "fdttrace: unknown workload %q (try -list)\n", *workload)
+			return 2
+		}
 	}
 	mask, err := parseCategories(*events)
 	if err != nil {
@@ -98,27 +104,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ck = invariant.New()
 		m.AttachChecker(ck)
 	}
-	w := info.Factory(m)
-
 	var res core.RunResult
-	switch strings.ToLower(*policy) {
-	case "adaptive":
-		res = core.NewAdaptiveController(core.Combined{}, core.DefaultMonitorParams()).Run(m, w)
-	default:
-		pol, err := parsePolicy(*policy, *threads)
+	meta := map[string]string{
+		"cores":     fmt.Sprintf("%d", *cores),
+		"bandwidth": fmt.Sprintf("%g", *bandwidth),
+	}
+	if *corun != "" {
+		a, b, err := workloads.ParsePair(*corun)
+		if err != nil {
+			fmt.Fprintf(stderr, "fdttrace: %v (try -list)\n", err)
+			return 2
+		}
+		mp, err := machine.ParseMapping(*mapping)
 		if err != nil {
 			fmt.Fprintln(stderr, "fdttrace:", err)
 			return 2
 		}
-		res = core.NewController(pol).Run(m, w)
-	}
-
-	meta := map[string]string{
-		"workload":     res.Workload,
-		"policy":       policyLabel(*policy, res.Policy),
-		"cores":        fmt.Sprintf("%d", *cores),
-		"bandwidth":    fmt.Sprintf("%g", *bandwidth),
-		"total_cycles": fmt.Sprintf("%d", res.TotalCycles),
+		spec := func(i workloads.Info) core.TeamSpec {
+			s := core.TeamSpec{Workload: i.Name, Factory: i.Factory}
+			switch strings.ToLower(*policy) {
+			case "adaptive":
+				s.Policy = core.Combined{}
+				p := core.DefaultMonitorParams()
+				s.Monitor = &p
+			default:
+				pol, err := parsePolicy(*policy, *threads)
+				if err != nil {
+					fmt.Fprintln(stderr, "fdttrace:", err)
+					os.Exit(2)
+				}
+				s.Policy = pol
+			}
+			return s
+		}
+		co, err := core.RunCorunOn(m, mp, []core.TeamSpec{spec(a), spec(b)}, core.ExactMode())
+		if err != nil {
+			fmt.Fprintln(stderr, "fdttrace:", err)
+			return 2
+		}
+		meta["corun"] = a.Name + "+" + b.Name
+		meta["mapping"] = co.Mapping
+		meta["policy"] = policyLabel(*policy, co.Teams[0].Policy)
+		meta["total_cycles"] = fmt.Sprintf("%d", co.TotalCycles)
+		res = co.Teams[0].RunResult
+		res.Workload = a.Name + "+" + b.Name
+		res.TotalCycles = co.TotalCycles
+		res.AvgActiveCores = co.AvgActiveCores
+		for _, t := range co.Teams[1:] {
+			res.Kernels = append(res.Kernels, t.Kernels...)
+		}
+	} else {
+		w := info.Factory(m)
+		switch strings.ToLower(*policy) {
+		case "adaptive":
+			res = core.NewAdaptiveController(core.Combined{}, core.DefaultMonitorParams()).Run(m, w)
+		default:
+			pol, err := parsePolicy(*policy, *threads)
+			if err != nil {
+				fmt.Fprintln(stderr, "fdttrace:", err)
+				return 2
+			}
+			res = core.NewController(pol).Run(m, w)
+		}
+		meta["workload"] = res.Workload
+		meta["policy"] = policyLabel(*policy, res.Policy)
+		meta["total_cycles"] = fmt.Sprintf("%d", res.TotalCycles)
 	}
 	if err := writeChromeFile(*out, tr, meta); err != nil {
 		fmt.Fprintln(stderr, "fdttrace:", err)

@@ -29,6 +29,9 @@ func TestBadInvocations(t *testing.T) {
 		{"-events", "nosuchcat"},
 		{"-events", ""},
 		{"-nosuchflag"},
+		{"-corun", "nosuch+mg"},
+		{"-corun", "pagemine+mg", "-mapping", "nosuch"},
+		{"-corun", "pagemine+mg", "-mapping", "smt"}, // 1 SMT plane, 2 teams
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
@@ -75,5 +78,38 @@ func TestTraceAndTimelineOutputs(t *testing.T) {
 	}
 	if len(tl) == 0 {
 		t.Error("timeline output is empty")
+	}
+}
+
+func TestCorunTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated co-run")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "c.json")
+	var out, errb bytes.Buffer
+	args := []string{"-corun", "pagemine+mg", "-mapping", "packed", "-policy", "sat+bat",
+		"-cores", "8", "-o", tracePath}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "pagemine+mg") {
+		t.Errorf("report missing the pair label in:\n%s", out.String())
+	}
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("co-run trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("co-run trace has no events")
+	}
+	if !strings.Contains(string(blob), `"mapping"`) {
+		t.Error("co-run trace metadata missing the mapping")
 	}
 }

@@ -165,23 +165,32 @@ func NewAdaptiveController(p Policy, mp MonitorParams) *Controller {
 // The machine must be fresh (one Machine simulates one execution).
 func (ctl *Controller) Run(m *machine.Machine, w Workload) RunResult {
 	res := RunResult{Workload: w.Name(), Policy: ctl.Policy.Name()}
+	thread.Run(m, ctl.runBody(w, &res))
+	m.FinishCheck()
+	res.TotalCycles = m.Eng.Now()
+	res.AvgActiveCores = m.Power.AverageActiveCores(res.TotalCycles)
+	res.BusBusyCycles = m.Ctrs.Counter(counters.BusBusyCycles).Read()
+	return res
+}
+
+// runBody builds the master function for one workload execution,
+// filling res as kernels complete. Extracted from Run so a co-run can
+// hand each team's controller pipeline to thread.RunTeams: every team
+// runs its own Sample -> Estimate -> Execute -> Monitor loop
+// concurrently against the shared memory system.
+func (ctl *Controller) runBody(w Workload, res *RunResult) func(c *thread.Ctx) {
 	if ctl.Mode.Sampled {
 		ctl.st = &sampled.Stats{}
 		res.Sampled = ctl.st
 	}
-	thread.Run(m, func(c *thread.Ctx) {
+	return func(c *thread.Ctx) {
 		if sw, ok := w.(SetupWorkload); ok {
 			sw.Setup(c)
 		}
 		for _, k := range w.Kernels() {
 			res.Kernels = append(res.Kernels, ctl.runKernel(c, k))
 		}
-	})
-	m.FinishCheck()
-	res.TotalCycles = m.Eng.Now()
-	res.AvgActiveCores = m.Power.AverageActiveCores(res.TotalCycles)
-	res.BusBusyCycles = m.Ctrs.Counter(counters.BusBusyCycles).Read()
-	return res
+	}
 }
 
 // ctlTrace emits the controller's pipeline onto the trace's
@@ -246,7 +255,7 @@ func (ct ctlTrace) retrain(cycle uint64, dr *Drift) {
 // monitoring is off, per phase when it is on.
 func (ctl *Controller) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 	m := c.Machine()
-	cores := m.Contexts()
+	cores := c.TeamSize()
 	n := k.Iterations()
 	start := c.CPU.CycleCount()
 	ct := newCtlTrace(m)

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"fdt/internal/counters"
+	"fdt/internal/machine"
+)
+
+// corunSpecs builds two contrasting synthetic tenants: a CS-heavy
+// kernel and a bandwidth-heavy one.
+func corunSpecs() []TeamSpec {
+	return []TeamSpec{
+		{Workload: "cs-synth", Factory: newSynthFactory(40, 2000, 600, 0), Policy: Combined{}},
+		{Workload: "bw-synth", Factory: newSynthFactory(40, 400, 0, 48), Policy: Combined{}},
+	}
+}
+
+func TestCorunTwoTeams(t *testing.T) {
+	cfg := machine.DefaultConfig().WithCores(8)
+	m := machine.MustNew(cfg)
+	res, err := RunCorunOn(m, machine.MapPacked, corunSpecs(), ExactMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Teams) != 2 {
+		t.Fatalf("%d teams, want 2", len(res.Teams))
+	}
+	if res.TotalCycles == 0 {
+		t.Fatal("zero makespan")
+	}
+	var busSum uint64
+	var shareSum float64
+	for _, tr := range res.Teams {
+		if tr.TotalCycles == 0 || tr.TotalCycles > res.TotalCycles {
+			t.Errorf("%s: cycles %d outside (0, makespan %d]", tr.Team, tr.TotalCycles, res.TotalCycles)
+		}
+		if len(tr.Kernels) != 1 {
+			t.Errorf("%s: %d kernels, want 1", tr.Team, len(tr.Kernels))
+		}
+		busSum += tr.BusBusyCycles
+		shareSum += tr.BusShare
+	}
+	// Per-team bus attribution partitions the global counter exactly
+	// (the "team-bus-partition" invariant, re-checked here end to end).
+	if global := m.Ctrs.Counter(counters.BusBusyCycles).Read(); busSum != global {
+		t.Errorf("team bus cycles sum %d != global %d", busSum, global)
+	}
+	if shareSum < 0.999 || shareSum > 1.001 {
+		t.Errorf("bus shares sum to %v, want 1", shareSum)
+	}
+	// The attribution must discriminate: nearly all traffic is the
+	// bandwidth-heavy tenant's.
+	if res.Teams[1].BusShare < 0.9 {
+		t.Errorf("bw-synth bus share %.3f, want >= 0.9", res.Teams[1].BusShare)
+	}
+	// Each tenant's controller decided independently from its own
+	// counters: the CS-heavy tenant throttles below the bandwidth-heavy
+	// tenant's team size.
+	csN := res.Teams[0].Kernels[0].Decision.Threads
+	bwN := res.Teams[1].Kernels[0].Decision.Threads
+	if csN >= bwN {
+		t.Errorf("cs-synth chose %d threads, bw-synth %d; want cs < bw", csN, bwN)
+	}
+}
+
+func TestCorunCacheHit(t *testing.T) {
+	cfg := machine.DefaultConfig().WithCores(8)
+	a, err := RunCorun(cfg, machine.MapScattered, corunSpecs(), ExactMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCorun(cfg, machine.MapScattered, corunSpecs(), ExactMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCycles != b.TotalCycles || len(a.Teams) != len(b.Teams) {
+		t.Fatalf("memoized corun differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestSoloOnPartitionControl(t *testing.T) {
+	cfg := machine.DefaultConfig().WithCores(8)
+	specs := corunSpecs()
+	solo, err := RunSolo(cfg, machine.MapPacked, 2, 1, specs[1], ExactMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.TotalCycles == 0 {
+		t.Fatal("zero solo cycles")
+	}
+	// Alone on the machine, the tenant owns all bus traffic.
+	if solo.BusShare < 0.999 {
+		t.Errorf("solo bus share %.3f, want ~1", solo.BusShare)
+	}
+	co, err := RunCorun(cfg, machine.MapPacked, specs, ExactMode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A co-runner can only add contention on the shared bus: the
+	// bandwidth-heavy tenant must not run faster co-scheduled.
+	if co.Teams[1].TotalCycles < solo.TotalCycles {
+		t.Errorf("bw-synth co-run %d cycles faster than solo %d", co.Teams[1].TotalCycles, solo.TotalCycles)
+	}
+}
+
+func TestCorunMappingError(t *testing.T) {
+	// SMT-aware mapping needs a plane per tenant; a 1-context machine
+	// cannot host two teams.
+	cfg := machine.DefaultConfig().WithCores(8)
+	if cfg.SMTContexts > 1 {
+		t.Skip("default config has SMT planes")
+	}
+	_, err := RunCorunOn(machine.MustNew(cfg), machine.MapSMT, corunSpecs(), ExactMode())
+	if err == nil {
+		t.Fatal("smt mapping on 1-context machine: want error")
+	}
+}

@@ -87,9 +87,14 @@ type Monitor struct {
 	expCS, expBus float64
 	calibrated    bool
 
-	set  *counters.Set
-	snap counters.Snapshot
-	t0   uint64
+	// csCtr is the team's private critical-section counter; busCtr the
+	// machine-global bus counter (same scoping rationale as the
+	// Sampler: locks are program-private, the bus PMU counter is
+	// socket-wide — which is exactly how the monitor sees a co-runner's
+	// onset as "bus" drift).
+	csCtr, busCtr   *counters.Counter
+	csSnap, busSnap counters.Sample
+	t0              uint64
 
 	// tr/track emit one "monitor" instant per interval reading —
 	// the audit trail behind every retrain (and every non-retrain).
@@ -105,8 +110,10 @@ func NewMonitor(p MonitorParams, ref SteadyState) *Monitor {
 
 // Arm snapshots the counters at the start of monitored execution.
 func (mo *Monitor) Arm(c *thread.Ctx) {
-	mo.set = c.Machine().Ctrs
-	mo.snap = mo.set.Snapshot(thread.CtrCSCycles, counters.BusBusyCycles)
+	mo.csCtr = c.TeamCounter(thread.CtrCSCycles)
+	mo.busCtr = c.Machine().Ctrs.Counter(counters.BusBusyCycles)
+	mo.csSnap = mo.csCtr.Sample()
+	mo.busSnap = mo.busCtr.Sample()
 	mo.t0 = c.CPU.CycleCount()
 	if t := c.Machine().Trace; t.Wants(trace.CatCtl) {
 		mo.tr = t
@@ -135,10 +142,13 @@ func (mo *Monitor) Observe(c *thread.Ctx, iters, nextIter int) *Drift {
 	if iters <= 0 {
 		return nil
 	}
-	d := mo.set.Advance(mo.snap)
+	dcs := mo.csCtr.DeltaSince(mo.csSnap)
+	dbus := mo.busCtr.DeltaSince(mo.busSnap)
+	mo.csSnap = mo.csCtr.Sample()
+	mo.busSnap = mo.busCtr.Sample()
 	mo.t0 = c.CPU.CycleCount()
-	obsCS := float64(d[thread.CtrCSCycles]) / float64(iters)
-	obsBus := float64(d[counters.BusBusyCycles]) / float64(iters)
+	obsCS := float64(dcs) / float64(iters)
+	obsBus := float64(dbus) / float64(iters)
 
 	if mo.traced {
 		mo.tr.Emit(trace.CatCtl, trace.Event{

@@ -41,7 +41,7 @@ type Sampler struct {
 // stable or excluded — SAT's stability window, BAT's early-out.
 func (s Sampler) Sample(c *thread.Ctx, k Kernel, pol Policy, lo, hi int) SampleOutcome {
 	m := c.Machine()
-	cores := m.Contexts()
+	cores := c.TeamSize()
 	span := hi - lo
 
 	maxTrain := int(float64(span) * s.Params.MaxTrainFraction)
@@ -52,7 +52,15 @@ func (s Sampler) Sample(c *thread.Ctx, k Kernel, pol Policy, lo, hi int) SampleO
 		maxTrain = span
 	}
 
-	csCtr := m.Ctrs.Counter(thread.CtrCSCycles)
+	// CS cycles come from the team's private counter file — a real
+	// runtime's lock instrumentation only sees its own program, and
+	// training must not absorb a co-runner's synchronization. The bus
+	// observable is deliberately the machine-global counter: a
+	// socket-wide PMU counter (BUS_DRDY_CLOCKS) cannot filter by
+	// requestor, so a co-runner's traffic raises observed utilization —
+	// which is correct, because shared bandwidth IS scarcer (Eq. 5's
+	// BU_1 should reflect the bus the kernel will actually run on).
+	csCtr := c.TeamCounter(thread.CtrCSCycles)
 	busCtr := m.Ctrs.Counter(counters.BusBusyCycles)
 
 	var out SampleOutcome

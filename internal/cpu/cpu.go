@@ -30,6 +30,12 @@ type CPU struct {
 	// stalls to Stall. Nil is the disabled harness.
 	led *invariant.Ledger
 
+	// attr is this thread's team bus-attribution handle. The port is
+	// shared per-core, so under SMT another team's context may have
+	// installed its own handle between this CPU's accesses — re-install
+	// before every port call.
+	attr *mem.TeamCtrs
+
 	instret uint64
 	loads   uint64
 	stores  uint64
@@ -65,6 +71,10 @@ func (c *CPU) SetContention(load func() int) { c.load = load }
 // SetLedger installs the context's conservation ledger (see the led
 // field). Nil — the default — disables the accounting.
 func (c *CPU) SetLedger(l *invariant.Ledger) { c.led = l }
+
+// SetTeamCtrs installs the thread's team bus-attribution handle (see
+// the attr field). Nil — the default — leaves traffic un-attributed.
+func (c *CPU) SetTeamCtrs(tc *mem.TeamCtrs) { c.attr = tc }
 
 // slowdown reports the current compute derating from SMT sharing.
 func (c *CPU) slowdown() uint64 {
@@ -106,6 +116,7 @@ func (c *CPU) Exec(instrs uint64) {
 // Load performs a data load from addr, stalling for the full access.
 func (c *CPU) Load(addr uint64) {
 	c.loads++
+	c.port.SetTeamCtrs(c.attr)
 	if c.led != nil {
 		t0 := c.proc.Now()
 		c.port.Load(c.proc, addr)
@@ -118,6 +129,7 @@ func (c *CPU) Load(addr uint64) {
 // Store performs a data store to addr.
 func (c *CPU) Store(addr uint64) {
 	c.stores++
+	c.port.SetTeamCtrs(c.attr)
 	if c.led != nil {
 		t0 := c.proc.Now()
 		c.port.Store(c.proc, addr)
@@ -159,6 +171,7 @@ func (c *CPU) StoreRange(base uint64, bytes int) {
 		t0 := c.proc.Now()
 		for a := first; a <= last; a += line {
 			c.stores++
+			c.port.SetTeamCtrs(c.attr)
 			c.port.StoreStream(c.proc, a)
 		}
 		c.led.Stall += c.proc.Now() - t0
@@ -166,6 +179,7 @@ func (c *CPU) StoreRange(base uint64, bytes int) {
 	}
 	for a := first; a <= last; a += line {
 		c.stores++
+		c.port.SetTeamCtrs(c.attr)
 		c.port.StoreStream(c.proc, a)
 	}
 }

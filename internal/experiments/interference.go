@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/runner"
+)
+
+// This file implements the co-runner interference family: the
+// multiprogrammed scenario the paper leaves open. Two workloads are
+// co-scheduled on one machine, each on its own team under a
+// thread-to-core mapping, each run by its own controller — and every
+// tenant is compared against its own solo control run on the *same*
+// partition (same core budget, same placement, empty machine
+// otherwise), so the reported slowdown is pure shared-resource
+// interference, not a smaller core allowance.
+
+// InterferenceRow compares one tenant's solo and co-run executions
+// under one mapping x policy combination.
+type InterferenceRow struct {
+	// Workload is this tenant's kernel; Corunner the one it shared the
+	// machine with.
+	Workload, Corunner string
+	Mapping            string
+	Policy             string
+	Adaptive           bool
+
+	SoloCycles, CorunCycles uint64
+	// SlowdownPct is the co-run's execution-time penalty over solo.
+	SlowdownPct           float64
+	SoloPower, CorunPower float64
+	// SoloThreads/CorunThreads are cycle-weighted average team sizes —
+	// where the controller's decisions landed with and without the
+	// co-runner's traffic in its counters.
+	SoloThreads, CorunThreads float64
+	// SoloRetrains/CorunRetrains count Monitor-triggered re-trainings
+	// (adaptive rows only).
+	SoloRetrains, CorunRetrains int
+	// CorunBusShare is the tenant's fraction of all bus traffic in the
+	// co-run.
+	CorunBusShare float64
+}
+
+// InterferencePair is one co-scheduled workload pair's full table.
+type InterferencePair struct {
+	A, B string
+	Rows []InterferenceRow
+}
+
+// Interference is the experiment family's result.
+type Interference struct {
+	Pairs []InterferencePair
+}
+
+// interferencePairs are the family's co-run pairs: a CS-limited
+// kernel against a scalable one (does PageMine's controller still
+// throttle threads when MG floods nothing?) and two bandwidth-limited
+// kernels (ED and Convert fighting over the one resource BAT models).
+func interferencePairs() [][2]string {
+	return [][2]string{
+		{"pagemine", "mg"},
+		{"ed", "convert"},
+	}
+}
+
+// interferenceMappings lists the mappings the family sweeps on a
+// configuration: packed and scattered always; SMT-aware only when the
+// machine has a plane per tenant.
+func interferenceMappings(cfg machine.Config) []machine.Mapping {
+	ms := []machine.Mapping{machine.MapPacked, machine.MapScattered}
+	if cfg.SMTContexts >= 2 {
+		ms = append(ms, machine.MapSMT)
+	}
+	return ms
+}
+
+// interferenceSpec builds one tenant's TeamSpec.
+func interferenceSpec(name string, adaptive bool) core.TeamSpec {
+	s := core.TeamSpec{Workload: name, Factory: factory(name), Policy: core.Combined{}}
+	if adaptive {
+		mp := core.DefaultMonitorParams()
+		s.Monitor = &mp
+	}
+	return s
+}
+
+// interferenceCell runs one (pair, mapping, adaptive?) cell: both
+// solo controls and the co-run, producing one row per tenant.
+func interferenceCell(o Options, pair [2]string, mp machine.Mapping, adaptive bool) []InterferenceRow {
+	specs := []core.TeamSpec{
+		interferenceSpec(pair[0], adaptive),
+		interferenceSpec(pair[1], adaptive),
+	}
+	co, err := core.RunCorun(o.Cfg, mp, specs, o.Mode)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: corun %s+%s under %s: %v", pair[0], pair[1], mp, err))
+	}
+	rows := make([]InterferenceRow, 2)
+	for i := range specs {
+		solo, err := core.RunSolo(o.Cfg, mp, len(specs), i, specs[i], o.Mode)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: solo %s under %s: %v", specs[i].Workload, mp, err))
+		}
+		ct := co.Teams[i]
+		row := InterferenceRow{
+			Workload:      specs[i].Workload,
+			Corunner:      specs[1-i].Workload,
+			Mapping:       mp.String(),
+			Policy:        specs[i].Policy.Name(),
+			Adaptive:      adaptive,
+			SoloCycles:    solo.TotalCycles,
+			CorunCycles:   ct.TotalCycles,
+			SoloPower:     solo.AvgActiveCores,
+			CorunPower:    ct.AvgActiveCores,
+			SoloThreads:   solo.AvgThreads(),
+			CorunThreads:  ct.AvgThreads(),
+			CorunBusShare: ct.BusShare,
+		}
+		if solo.TotalCycles > 0 {
+			row.SlowdownPct = 100 * (float64(ct.TotalCycles)/float64(solo.TotalCycles) - 1)
+		}
+		for _, k := range solo.Kernels {
+			row.SoloRetrains += k.Retrains
+		}
+		for _, k := range ct.Kernels {
+			row.CorunRetrains += k.Retrains
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// RunInterference executes the family: every pair x mapping x
+// {train-once, adaptive} cell, solo controls included. Cells simulate
+// in parallel and memoize, like every other figure.
+func RunInterference(o Options) Interference {
+	return RunInterferencePairs(o, interferencePairs(), interferenceMappings(o.Cfg))
+}
+
+// RunInterferencePairs is RunInterference over explicit pairs and
+// mappings — the hook behind `fdtreport -corun` / `-mapping`. Nil
+// pairs or mappings mean the family defaults.
+func RunInterferencePairs(o Options, pairs [][2]string, mappings []machine.Mapping) Interference {
+	if pairs == nil {
+		pairs = interferencePairs()
+	}
+	if mappings == nil {
+		mappings = interferenceMappings(o.Cfg)
+	}
+	type job struct {
+		pair     [2]string
+		mp       machine.Mapping
+		adaptive bool
+	}
+	var jobs []job
+	for _, p := range pairs {
+		for _, mp := range mappings {
+			for _, ad := range []bool{false, true} {
+				jobs = append(jobs, job{p, mp, ad})
+			}
+		}
+	}
+	cells := make([][]InterferenceRow, len(jobs))
+	runner.Map(len(jobs), func(i int) {
+		cells[i] = interferenceCell(o, jobs[i].pair, jobs[i].mp, jobs[i].adaptive)
+	})
+
+	var out Interference
+	for _, p := range pairs {
+		ip := InterferencePair{A: p[0], B: p[1]}
+		for i, j := range jobs {
+			if j.pair == p {
+				ip.Rows = append(ip.Rows, cells[i]...)
+			}
+		}
+		out.Pairs = append(out.Pairs, ip)
+	}
+	return out
+}
+
+// String renders the family as per-pair tables.
+func (f Interference) String() string {
+	var b strings.Builder
+	b.WriteString("Co-runner interference: solo-on-partition vs co-run, per mapping x policy\n")
+	for _, p := range f.Pairs {
+		fmt.Fprintf(&b, "\n %s + %s\n", p.A, p.B)
+		fmt.Fprintf(&b, "  %-9s %-9s %-9s %8s %12s %12s %9s %8s %8s %8s %9s\n",
+			"workload", "mapping", "policy", "adaptive", "solo cyc", "corun cyc",
+			"slowdown", "thr solo", "thr co", "retrains", "bus share")
+		for _, r := range p.Rows {
+			fmt.Fprintf(&b, "  %-9s %-9s %-9s %8v %12d %12d %8.1f%% %8.1f %8.1f %3d->%-3d %8.1f%%\n",
+				r.Workload, r.Mapping, r.Policy, r.Adaptive, r.SoloCycles, r.CorunCycles,
+				r.SlowdownPct, r.SoloThreads, r.CorunThreads,
+				r.SoloRetrains, r.CorunRetrains, 100*r.CorunBusShare)
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the family as CSV.
+func (f Interference) CSV() string {
+	var b strings.Builder
+	b.WriteString("pair,workload,corunner,mapping,policy,adaptive,solo_cycles,corun_cycles,slowdown_pct,solo_power,corun_power,solo_threads,corun_threads,solo_retrains,corun_retrains,corun_bus_share\n")
+	for _, p := range f.Pairs {
+		for _, r := range p.Rows {
+			fmt.Fprintf(&b, "%s+%s,%s,%s,%s,%s,%v,%d,%d,%.2f,%.4f,%.4f,%.2f,%.2f,%d,%d,%.4f\n",
+				p.A, p.B, r.Workload, r.Corunner, r.Mapping, r.Policy, r.Adaptive,
+				r.SoloCycles, r.CorunCycles, r.SlowdownPct, r.SoloPower, r.CorunPower,
+				r.SoloThreads, r.CorunThreads, r.SoloRetrains, r.CorunRetrains, r.CorunBusShare)
+		}
+	}
+	return b.String()
+}

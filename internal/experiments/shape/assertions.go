@@ -6,6 +6,7 @@ import (
 
 	"fdt/internal/core"
 	"fdt/internal/experiments"
+	"fdt/internal/machine"
 	"fdt/internal/workloads"
 )
 
@@ -228,7 +229,105 @@ func Assertions() []Assertion {
 				return nil
 			},
 		},
+		{
+			Name:  "corun-bat-decision-shift",
+			Claim: "A co-runner's bus traffic shifts the Eq. 5 decision: both ED and Convert choose strictly fewer threads co-scheduled than solo on the identical partition, because the socket-wide bus observable reports the bandwidth the other tenant already consumed.",
+			Check: func(o experiments.Options) error {
+				specs := []core.TeamSpec{corunSpec("ed"), corunSpec("convert")}
+				co, err := core.RunCorun(o.Cfg, machine.MapPacked, specs, o.Mode)
+				if err != nil {
+					return err
+				}
+				for i, s := range specs {
+					solo, err := core.RunSolo(o.Cfg, machine.MapPacked, len(specs), i, s, o.Mode)
+					if err != nil {
+						return err
+					}
+					sn, cn := decidedThreads(solo.RunResult), decidedThreads(co.Teams[i].RunResult)
+					if cn >= sn {
+						return fmt.Errorf("%s: %d threads co-run, %d solo — co-runner traffic did not lower the BAT decision", s.Workload, cn, sn)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "corun-adaptive-drift-retrain",
+			Claim: "The adaptive Monitor treats co-runner interference as drift: a steady victim (bscholes) co-run with the delayed-onset bandwidth hog (busburst) re-trains on a \"bus\" trigger and throttles below its solo team size, while the same victim solo on the same partition never re-trains.",
+			Check: func(o experiments.Options) error {
+				// Exact mode regardless of o.Mode: sampled fast-forward
+				// skips the monitored intervals in which the co-runner's
+				// onset would be observed, so this interference path is
+				// only exercised end to end by exact execution.
+				md := core.ExactMode()
+				mp := core.DefaultMonitorParams()
+				victim := corunSpec("bscholes")
+				victim.Monitor = &mp
+				specs := []core.TeamSpec{victim, corunSpec("busburst")}
+				co, err := core.RunCorun(o.Cfg, machine.MapPacked, specs, md)
+				if err != nil {
+					return err
+				}
+				k := co.Teams[0].Kernels[0]
+				if k.Retrains < 1 {
+					return fmt.Errorf("bscholes co-run with busburst: %d retrains, want >= 1", k.Retrains)
+				}
+				throttled := false
+				for _, p := range k.Phases[1:] {
+					if p.Trigger != "bus" {
+						return fmt.Errorf("bscholes: retrain trigger %q, want \"bus\" (the co-runner is a pure bandwidth hog)", p.Trigger)
+					}
+					if p.Decision.Threads < k.Phases[0].Decision.Threads {
+						throttled = true
+					}
+				}
+				if !throttled {
+					return fmt.Errorf("bscholes: no post-onset phase ran below the initial %d threads", k.Phases[0].Decision.Threads)
+				}
+				solo, err := core.RunSolo(o.Cfg, machine.MapPacked, len(specs), 0, victim, md)
+				if err != nil {
+					return err
+				}
+				if r := solo.Kernels[0].Retrains; r != 0 {
+					return fmt.Errorf("bscholes solo: %d retrains, want 0 — the drift must come from the co-runner", r)
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "corun-mapping-matters",
+			Claim: "Thread-to-core mapping is a first-order knob for co-scheduling: packed and scattered mappings of the same pagemine+mg pair differ in makespan by at least 10%.",
+			Check: func(o experiments.Options) error {
+				specs := []core.TeamSpec{corunSpec("pagemine"), corunSpec("mg")}
+				packed, err := core.RunCorun(o.Cfg, machine.MapPacked, specs, o.Mode)
+				if err != nil {
+					return err
+				}
+				scattered, err := core.RunCorun(o.Cfg, machine.MapScattered, specs, o.Mode)
+				if err != nil {
+					return err
+				}
+				hi, lo := packed.TotalCycles, scattered.TotalCycles
+				if lo > hi {
+					hi, lo = lo, hi
+				}
+				if lo == 0 || float64(hi)/float64(lo) < 1.10 {
+					return fmt.Errorf("pagemine+mg: packed %d vs scattered %d cycles — mappings within 10%%, no placement effect", packed.TotalCycles, scattered.TotalCycles)
+				}
+				return nil
+			},
+		},
 	}
+}
+
+// corunSpec builds a train-once SAT+BAT tenant spec for a registered
+// workload.
+func corunSpec(name string) core.TeamSpec {
+	info, ok := workloads.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("shape: unknown workload %q", name))
+	}
+	return core.TeamSpec{Workload: name, Factory: info.Factory, Policy: core.Combined{}}
 }
 
 // ByName looks an assertion up by its stable name.

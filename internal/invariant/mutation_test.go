@@ -92,3 +92,67 @@ func TestMutationDirectoryDropDowngrade(t *testing.T) {
 		t.Fatalf("dropped downgrade not caught by dir-single-writer; checker: %s", ck.Report())
 	}
 }
+
+// teamMutationRun co-schedules two workloads as teams on a
+// checker-armed machine with an optional fault installed, and returns
+// the checker. The multi-tenant invariants (team-conservation,
+// team-bus-partition) only arm when teams exist, so these mutations
+// must run through the co-run path.
+func teamMutationRun(t *testing.T, mutate func(m *machine.Machine)) *invariant.Checker {
+	t.Helper()
+	pm, ok := workloads.ByName("pagemine")
+	if !ok {
+		t.Fatal("pagemine not registered")
+	}
+	cv, ok := workloads.ByName("convert")
+	if !ok {
+		t.Fatal("convert not registered")
+	}
+	m := machine.MustNew(machine.DefaultConfig().WithCores(8))
+	ck := invariant.New()
+	m.AttachChecker(ck)
+	if mutate != nil {
+		mutate(m)
+	}
+	specs := []core.TeamSpec{
+		{Workload: pm.Name, Factory: pm.Factory, Policy: core.Static{N: 2}},
+		{Workload: cv.Name, Factory: cv.Factory, Policy: core.Static{N: 2}},
+	}
+	if _, err := core.RunCorunOn(m, machine.MapPacked, specs, core.ExactMode()); err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}
+
+// TestMutationTeamBusAttributionSkew under-charges one cycle of every
+// bus transfer to the requesting team's private counter while the
+// machine-global counter stays correct — the "attribution leak" a
+// per-team accounting refactor can introduce silently, because no
+// single-tenant test ever sums team counters. The bus-partition
+// identity (sum of team bus busy == global bus busy) must name it.
+func TestMutationTeamBusAttributionSkew(t *testing.T) {
+	control := teamMutationRun(t, nil)
+	if err := control.Err(); err != nil {
+		t.Fatalf("control co-run not clean: %v", err)
+	}
+
+	ck := teamMutationRun(t, func(m *machine.Machine) {
+		m.Mem.Bus.FaultTeamAttrSkew(1)
+	})
+	if !ck.Violated("team-bus-partition") {
+		t.Fatalf("team attribution skew not caught by team-bus-partition; checker: %s", ck.Report())
+	}
+}
+
+// TestMutationTeamLedgerFoldSkew drops one busy cycle each time a
+// released context's ledger folds into its team's — the team ledger
+// no longer balances against the team's occupied window, and the
+// per-team conservation identity must name it.
+func TestMutationTeamLedgerFoldSkew(t *testing.T) {
+	ck := teamMutationRun(t, func(m *machine.Machine) {
+		m.FaultTeamFoldSkew(1)
+	})
+	if !ck.Violated("team-conservation") {
+		t.Fatalf("team fold skew not caught by team-conservation; checker: %s", ck.Report())
+	}
+}

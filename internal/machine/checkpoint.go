@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"fmt"
+
 	"fdt/internal/mem"
 	"fdt/internal/sim"
 )
@@ -23,18 +25,44 @@ type Checkpoint struct {
 	Counters map[string]uint64
 	Power    []uint64
 	Mem      *mem.State
+	// Teams captures the tenant partition: each team's identity,
+	// context ownership, private counter file and accumulated
+	// context-active cycles. Empty on a machine that never formed a
+	// team. The invariant harness's fold state (per-team ledgers) is
+	// deliberately not part of observable state, matching the
+	// per-context ledgers.
+	Teams []TeamCheckpoint
+}
+
+// TeamCheckpoint is one team's contribution to a machine checkpoint.
+type TeamCheckpoint struct {
+	ID        int
+	Name      string
+	Ctxs      []int
+	Counters  map[string]uint64
+	CtxActive uint64
 }
 
 // Checkpoint captures the machine's state. Call only at quiescence:
 // every hardware context free except none occupied mid-run, no
 // simulation processes live.
 func (m *Machine) Checkpoint() *Checkpoint {
-	return &Checkpoint{
+	cp := &Checkpoint{
 		Now:      m.Eng.Now(),
 		Counters: m.Ctrs.Checkpoint(),
 		Power:    m.Power.PerCore(),
 		Mem:      m.Mem.Checkpoint(),
 	}
+	for _, t := range m.teams {
+		cp.Teams = append(cp.Teams, TeamCheckpoint{
+			ID:        t.ID,
+			Name:      t.Name,
+			Ctxs:      t.Contexts(),
+			Counters:  t.Ctrs.Checkpoint(),
+			CtxActive: t.ctxActive,
+		})
+	}
+	return cp
 }
 
 // RestoreCheckpoint overwrites the machine's state from a checkpoint
@@ -47,4 +75,16 @@ func (m *Machine) RestoreCheckpoint(cp *Checkpoint) {
 	m.Ctrs.Restore(cp.Counters)
 	m.Power.Restore(cp.Power)
 	m.Mem.Restore(cp.Mem)
+	m.teams = nil
+	for i := range m.ctxTeam {
+		m.ctxTeam[i] = nil
+	}
+	for _, tc := range cp.Teams {
+		t, err := m.newTeam(tc.Name, tc.Ctxs)
+		if err != nil {
+			panic(fmt.Sprintf("machine: restoring checkpoint team %d: %v", tc.ID, err))
+		}
+		t.Ctrs.Restore(tc.Counters)
+		t.ctxActive = tc.CtxActive
+	}
 }

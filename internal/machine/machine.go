@@ -96,6 +96,17 @@ type Machine struct {
 	// ledger is checked against its occupancy window at release.
 	ledgers    []invariant.Ledger
 	occupiedAt []uint64
+	// teams/ctxTeam hold the machine's tenant partition (see Team);
+	// ctxSince records each context's occupancy start for per-team
+	// active-cycle attribution (kept separately from occupiedAt, which
+	// exists only on checked runs).
+	teams    []*Team
+	ctxTeam  []*Team
+	ctxSince []uint64
+	// faultTeamFoldSkew is a deliberate-fault knob for the mutation
+	// tests: ReleaseContext under-folds this many busy cycles into the
+	// owning team's ledger, which "team-conservation" must catch.
+	faultTeamFoldSkew uint64
 }
 
 // New builds a machine.
@@ -120,6 +131,8 @@ func New(cfg Config) (*Machine, error) {
 		ctxBusy:   make([]bool, cfg.Mem.Cores*cfg.SMTContexts),
 		coreLoad:  make([]int, cfg.Mem.Cores),
 		coreSince: make([]uint64, cfg.Mem.Cores),
+		ctxTeam:   make([]*Team, cfg.Mem.Cores*cfg.SMTContexts),
+		ctxSince:  make([]uint64, cfg.Mem.Cores*cfg.SMTContexts),
 	}, nil
 }
 
@@ -181,11 +194,52 @@ func (m *Machine) ContextLedger(ctx int) *invariant.Ledger {
 }
 
 // FinishCheck runs the machine's end-of-run invariants (the memory
-// system's conservation, queueing and coherence checks). Call it after
-// the workload completes, at quiescence.
+// system's conservation, queueing and coherence checks, plus the
+// per-team conservation and bus-partition rules when the machine has
+// teams). Call it after the workload completes, at quiescence.
 func (m *Machine) FinishCheck() {
 	if m.Check.Enabled() {
 		m.Mem.FinishCheck(m.Eng.Now())
+		m.checkTeams()
+	}
+}
+
+// FaultTeamFoldSkew arms a deliberate fault for the mutation tests:
+// every context release under-folds d busy cycles into the owning
+// team's conservation ledger.
+func (m *Machine) FaultTeamFoldSkew(d uint64) { m.faultTeamFoldSkew = d }
+
+// checkTeams verifies the per-team end-of-run invariants:
+//
+//   - "team-conservation": each team's folded busy+stall+sync+idle
+//     ledger equals the sum of its contexts' occupancy windows — the
+//     per-context conservation law survives aggregation by tenant
+//     (only meaningful when the per-context ledgers are armed).
+//   - "team-bus-partition": the per-team bus busy counters sum to the
+//     machine-global bus busy counter — every transferred line is
+//     attributed to exactly one tenant.
+func (m *Machine) checkTeams() {
+	if len(m.teams) == 0 {
+		return
+	}
+	now := m.Eng.Now()
+	var teamBus uint64
+	for _, t := range m.teams {
+		teamBus += t.attr.BusBusy.Read()
+		if m.ledgers == nil {
+			continue
+		}
+		m.Check.Pass(1)
+		if t.led.Total() != t.windows {
+			m.Check.Failf("team-conservation", now,
+				"team %d (%q): folded busy %d + stall %d + sync %d + idle %d = %d != occupancy windows %d",
+				t.ID, t.Name, t.led.Busy, t.led.Stall, t.led.Sync, t.led.Idle, t.led.Total(), t.windows)
+		}
+	}
+	m.Check.Pass(1)
+	if global := m.Ctrs.Counter(counters.BusBusyCycles).Read(); teamBus != global {
+		m.Check.Failf("team-bus-partition", now,
+			"per-team bus busy cycles sum to %d != machine bus busy counter %d", teamBus, global)
 	}
 }
 
@@ -218,6 +272,7 @@ func (m *Machine) OccupyContext(ctx int, now uint64) (core int) {
 		panic(fmt.Sprintf("machine: context %d already occupied", ctx))
 	}
 	m.ctxBusy[ctx] = true
+	m.ctxSince[ctx] = now
 	if m.ledgers != nil {
 		m.ledgers[ctx] = invariant.Ledger{}
 		m.occupiedAt[ctx] = now
@@ -240,6 +295,17 @@ func (m *Machine) ReleaseContext(ctx int, now uint64) {
 	m.ctxBusy[ctx] = false
 	if m.ledgers != nil {
 		m.ledgers[ctx].CheckConservation(m.Check, ctx, m.occupiedAt[ctx], now)
+	}
+	if t := m.ctxTeam[ctx]; t != nil {
+		t.ctxActive += now - m.ctxSince[ctx]
+		if m.ledgers != nil {
+			led := m.ledgers[ctx]
+			t.led.Busy += led.Busy - m.faultTeamFoldSkew
+			t.led.Stall += led.Stall
+			t.led.Sync += led.Sync
+			t.led.Idle += led.Idle
+			t.windows += now - m.occupiedAt[ctx]
+		}
 	}
 	core := m.CoreOf(ctx)
 	m.coreLoad[core]--

@@ -1,0 +1,191 @@
+package machine
+
+import (
+	"testing"
+)
+
+func TestDefaultTeamIdentity(t *testing.T) {
+	m := MustNew(DefaultConfig().WithCores(8))
+	dt := m.DefaultTeam()
+	if dt2 := m.DefaultTeam(); dt2 != dt {
+		t.Error("DefaultTeam not idempotent")
+	}
+	if dt.Size() != m.Contexts() {
+		t.Errorf("default team size %d, want %d", dt.Size(), m.Contexts())
+	}
+	// Legacy placement order and unprefixed names: a default-team run
+	// is indistinguishable from the pre-team machine.
+	for i, c := range dt.Contexts() {
+		if c != i {
+			t.Fatalf("default team ctx[%d] = %d, want identity order", i, c)
+		}
+	}
+	if got := dt.ProcName("master"); got != "master" {
+		t.Errorf("default team ProcName = %q, want unprefixed", got)
+	}
+	if m.TeamOf(0) != dt {
+		t.Error("TeamOf(0) is not the default team")
+	}
+}
+
+func TestDefaultTeamPanicsOnPartitionedMachine(t *testing.T) {
+	m := MustNew(DefaultConfig().WithCores(8))
+	if _, err := m.SplitTeams(MapPacked, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DefaultTeam on a partitioned machine: want panic")
+		}
+	}()
+	m.DefaultTeam()
+}
+
+func TestSplitTeams(t *testing.T) {
+	m := MustNew(DefaultConfig().WithCores(8))
+	teams, err := m.SplitTeams(MapScattered, []string{"t0:a", "t1:b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(teams) != 2 || teams[0].ID != 0 || teams[1].ID != 1 {
+		t.Fatalf("teams %v", teams)
+	}
+	if teams[0].Name != "t0:a" || teams[0].ProcName("master") != "t0:a:master" {
+		t.Errorf("team 0 name %q, proc %q", teams[0].Name, teams[0].ProcName("master"))
+	}
+	for _, c := range teams[1].Contexts() {
+		if m.TeamOf(c) != teams[1] {
+			t.Errorf("context %d not owned by team 1", c)
+		}
+	}
+	if got := len(m.Teams()); got != 2 {
+		t.Errorf("Teams() = %d entries, want 2", got)
+	}
+	// The machine is partitioned now: a second split must refuse.
+	if _, err := m.SplitTeams(MapPacked, []string{"x"}); err == nil {
+		t.Error("second SplitTeams: want error")
+	}
+}
+
+func TestNewTeamValidation(t *testing.T) {
+	m := MustNew(DefaultConfig().WithCores(8))
+	if _, err := m.NewTeam("empty", nil); err == nil {
+		t.Error("empty context list: want error")
+	}
+	if _, err := m.NewTeam("oob", []int{0, 99}); err == nil {
+		t.Error("out-of-range context: want error")
+	}
+	m.OccupyContext(1, 0)
+	if _, err := m.NewTeam("busy", []int{1}); err == nil {
+		t.Error("occupied context: want error")
+	}
+	m.ReleaseContext(1, 10)
+	if _, err := m.NewTeam("a", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.NewTeam("b", []int{0}); err == nil {
+		t.Error("double-owned context: want error")
+	}
+}
+
+func TestTeamChargesAndNilSafety(t *testing.T) {
+	var nilTeam *Team
+	nilTeam.ChargeCS(5)
+	nilTeam.ChargeCSWait(5)
+	nilTeam.ChargeCSEntry()
+	nilTeam.ChargeBarrierWait(5)
+
+	m := MustNew(DefaultConfig().WithCores(8))
+	team, err := m.NewTeam("a", []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	team.ChargeCS(7)
+	team.ChargeCSWait(3)
+	team.ChargeCSEntry()
+	team.ChargeBarrierWait(11)
+	for name, want := range map[string]uint64{
+		CtrTeamCSCycles:          7,
+		CtrTeamCSWaitCycles:      3,
+		CtrTeamCSEntries:         1,
+		CtrTeamBarrierWaitCycles: 11,
+	} {
+		if got := team.Ctrs.Counter(name).Read(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if team.MemAttr() == nil || team.MemAttr().BusBusy == nil {
+		t.Error("MemAttr missing bus counters")
+	}
+}
+
+func TestTeamContextActiveAccumulates(t *testing.T) {
+	m := MustNew(DefaultConfig().WithCores(8))
+	team, err := m.NewTeam("a", []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.OccupyContext(0, 100)
+	m.ReleaseContext(0, 250)
+	m.OccupyContext(1, 300)
+	m.ReleaseContext(1, 350)
+	if got := team.ContextActiveCycles(); got != 200 {
+		t.Errorf("ContextActiveCycles = %d, want 200", got)
+	}
+}
+
+func TestCheckpointRestoresTeams(t *testing.T) {
+	cfg := DefaultConfig().WithCores(8)
+	m := MustNew(cfg)
+	teams, err := m.SplitTeams(MapPacked, []string{"t0:a", "t1:b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teams[0].ChargeCS(42)
+	m.OccupyContext(teams[1].Ctx(0), 10)
+	m.ReleaseContext(teams[1].Ctx(0), 60)
+
+	cp := m.Checkpoint()
+	if len(cp.Teams) != 2 {
+		t.Fatalf("%d team checkpoints, want 2", len(cp.Teams))
+	}
+
+	// Restore into a fresh machine of the same config.
+	m2 := MustNew(cfg)
+	m2.RestoreCheckpoint(cp)
+	got := m2.Teams()
+	if len(got) != 2 {
+		t.Fatalf("restored %d teams, want 2", len(got))
+	}
+	if got[0].Name != "t0:a" || got[1].Name != "t1:b" {
+		t.Errorf("restored names %q, %q", got[0].Name, got[1].Name)
+	}
+	wantEq(t, "restored team 0 ctxs", got[0].Contexts(), teams[0].Contexts())
+	if cs := got[0].Ctrs.Counter(CtrTeamCSCycles).Read(); cs != 42 {
+		t.Errorf("restored team 0 cs cycles = %d, want 42", cs)
+	}
+	if a := got[1].ContextActiveCycles(); a != 50 {
+		t.Errorf("restored team 1 ctxActive = %d, want 50", a)
+	}
+	if m2.TeamOf(got[1].Ctx(0)) != got[1] {
+		t.Error("restored context ownership wrong")
+	}
+}
+
+// TestCheckpointRestoreClearsStaleTeams restores a teamless checkpoint
+// over a partitioned machine: the partition must disappear.
+func TestCheckpointRestoreClearsStaleTeams(t *testing.T) {
+	cfg := DefaultConfig().WithCores(8)
+	clean := MustNew(cfg).Checkpoint()
+	m := MustNew(cfg)
+	if _, err := m.SplitTeams(MapPacked, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	m.RestoreCheckpoint(clean)
+	if len(m.Teams()) != 0 {
+		t.Errorf("%d teams after restoring a teamless checkpoint", len(m.Teams()))
+	}
+	if m.TeamOf(0) != nil {
+		t.Error("context 0 still owned after restore")
+	}
+}

@@ -38,9 +38,13 @@ type Bus struct {
 	// transfer's busy cycles without changing its occupancy, the second
 	// stretches the occupancy without changing the accounting. Both are
 	// deliberate bookkeeping bugs that the queueing invariants must
-	// catch; they are never set outside tests.
+	// catch; they are never set outside tests. faultTeamAttrSkew
+	// likewise under-charges every transfer's per-team attribution
+	// without touching the global counter, which "team-bus-partition"
+	// must catch.
 	faultAccountingSkew uint64
 	faultOccupancySkew  uint64
+	faultTeamAttrSkew   uint64
 }
 
 // NewBus builds the off-chip bus and registers its counters
@@ -107,6 +111,20 @@ func (b *Bus) FaultAccountingSkew(skew uint64) { b.faultAccountingSkew = skew }
 // shapes timing, the figure-shape suite must notice the bent curve.
 func (b *Bus) FaultOccupancySkew(extra uint64) { b.faultOccupancySkew = extra }
 
+// FaultTeamAttrSkew arms a mutation-test hook: every transfer charges
+// skew fewer busy cycles to its team than to the machine-global
+// counter. The "team-bus-partition" invariant must catch it.
+func (b *Bus) FaultTeamAttrSkew(skew uint64) { b.faultTeamAttrSkew = skew }
+
+// chargeTeam attributes one transfer to the requesting tenant (nil tc
+// is the un-attributed legacy path).
+func (b *Bus) chargeTeam(tc *TeamCtrs) {
+	if tc != nil {
+		tc.BusBusy.Add(b.perL - b.faultTeamAttrSkew)
+		tc.BusTxns.Inc()
+	}
+}
+
 // Latency reports the one-way command latency.
 func (b *Bus) Latency() uint64 { return b.lat }
 
@@ -115,8 +133,9 @@ func (b *Bus) CyclesPerLine() uint64 { return b.perL }
 
 // TransferLine performs the data phase of one line transfer on behalf
 // of process p: it waits for the data bus, holds it for the line's
-// occupancy, and accounts the busy cycles.
-func (b *Bus) TransferLine(p *sim.Proc) {
+// occupancy, and accounts the busy cycles globally and to the
+// requesting tenant (tc, nil for un-attributed traffic).
+func (b *Bus) TransferLine(p *sim.Proc, tc *TeamCtrs) {
 	t0 := p.Now()
 	occ := b.perL + b.faultOccupancySkew
 	start := b.data.Acquire(p, occ)
@@ -124,6 +143,7 @@ func (b *Bus) TransferLine(p *sim.Proc) {
 	p.WaitUntil(start + occ)
 	b.busy.Add(b.perL - b.faultAccountingSkew)
 	b.txns.Inc()
+	b.chargeTeam(tc)
 	if b.traced {
 		b.tr.Emit(trace.CatMem, trace.Event{
 			Cycle: start, Dur: b.perL, Track: b.track, Kind: trace.Complete, Name: "xfer",
@@ -137,12 +157,14 @@ func (b *Bus) TransferLine(p *sim.Proc) {
 // PostTransfer schedules one line's data phase without blocking the
 // caller, starting no earlier than `earliest`, and returns the cycle
 // at which the transfer completes. Posted transfers still consume
-// bandwidth, delaying later demand transfers.
-func (b *Bus) PostTransfer(earliest uint64) (done uint64) {
+// bandwidth, delaying later demand transfers, and are attributed to
+// the posting tenant (tc, nil for un-attributed traffic).
+func (b *Bus) PostTransfer(earliest uint64, tc *TeamCtrs) (done uint64) {
 	occ := b.perL + b.faultOccupancySkew
 	start := b.data.ReserveAt(earliest, occ)
 	b.busy.Add(b.perL - b.faultAccountingSkew)
 	b.txns.Inc()
+	b.chargeTeam(tc)
 	if b.traced {
 		b.tr.Emit(trace.CatMem, trace.Event{
 			Cycle: start, Dur: b.perL, Track: b.track, Kind: trace.Complete, Name: "posted-xfer",
@@ -156,9 +178,10 @@ func (b *Bus) PostTransfer(earliest uint64) (done uint64) {
 
 // PostWriteback schedules a line writeback on the data bus without
 // blocking the caller: evictions are fire-and-forget from the core's
-// point of view.
-func (b *Bus) PostWriteback(now uint64) {
-	b.PostTransfer(now)
+// point of view. The writeback is attributed to the tenant whose fill
+// forced it.
+func (b *Bus) PostWriteback(now uint64, tc *TeamCtrs) {
+	b.PostTransfer(now, tc)
 }
 
 // BusyCycles reports cumulative data-bus busy cycles (the counter BAT

@@ -61,6 +61,13 @@ type Port struct {
 	// sb holds completion times of outstanding posted stores (the
 	// store buffer). StoreStream stalls only when it is full.
 	sb []uint64
+	// attr is the bus-attribution handle of the tenant currently
+	// issuing through this port (nil when un-attributed). Under SMT,
+	// contexts of different teams share one core's port, so the CPU
+	// layer re-installs its team's handle before every access; each
+	// access captures the handle at entry so a parked access keeps
+	// charging its own team while another context interleaves.
+	attr *TeamCtrs
 }
 
 // NewSystem builds the memory system for the given configuration.
@@ -267,10 +274,16 @@ func (s *System) bankOf(line uint64) int {
 	return int(BankHash(line, s.l3BankBits))
 }
 
+// SetTeamCtrs installs the bus-attribution handle for subsequent
+// accesses through this port (nil disables attribution). The CPU
+// layer calls it before every access; see the attr field for why.
+func (pt *Port) SetTeamCtrs(tc *TeamCtrs) { pt.attr = tc }
+
 // Load performs a data load of the line containing addr on behalf of
 // process p running on this port's core, advancing p through every
 // stall the access incurs.
 func (pt *Port) Load(p *sim.Proc, addr uint64) {
+	tc := pt.attr
 	cfg := &pt.sys.Cfg
 	line := addr / uint64(cfg.LineBytes)
 	p.Advance(cfg.L1Lat)
@@ -284,12 +297,12 @@ func (pt *Port) Load(p *sim.Proc, addr uint64) {
 		pt.sys.loadStall.Add(p.Now() - t0)
 		return
 	}
-	pt.sys.sharedAccess(p, pt, addr, line, false)
-	pt.fillL2(p.Now(), line, false)
+	pt.sys.sharedAccess(p, pt, addr, line, false, tc)
+	pt.fillL2(p.Now(), line, false, tc)
 	pt.fillL1(line)
 	pt.sys.loadStall.Add(p.Now() - t0)
 	if cfg.PrefetchNextLine {
-		pt.sys.postPrefetch(p.Now(), pt, addr+uint64(cfg.LineBytes))
+		pt.sys.postPrefetch(p.Now(), pt, addr+uint64(cfg.LineBytes), tc)
 	}
 }
 
@@ -298,7 +311,7 @@ func (pt *Port) Load(p *sim.Proc, addr uint64) {
 // bus and DRAM bandwidth like any fetch, but never stalls the core.
 // (The line is installed immediately — slightly optimistic on the
 // prefetch's own timeliness, honest on the bandwidth it consumes.)
-func (s *System) postPrefetch(now uint64, pt *Port, addr uint64) {
+func (s *System) postPrefetch(now uint64, pt *Port, addr uint64, tc *TeamCtrs) {
 	cfg := &s.Cfg
 	line := addr / uint64(cfg.LineBytes)
 	if pt.l2.Contains(line) {
@@ -320,10 +333,10 @@ func (s *System) postPrefetch(now uint64, pt *Port, addr uint64) {
 		s.l3Misses.Inc()
 		s.traceL3Miss(now, pt.core, bank)
 		s.DRAM.PostAccess(now+cfg.BusLat, addr)
-		s.Bus.PostTransfer(now)
-		s.insertL3(now, bank, line, dirty)
+		s.Bus.PostTransfer(now, tc)
+		s.insertL3(now, bank, line, dirty, tc)
 	}
-	pt.fillL2(now, line, false)
+	pt.fillL2(now, line, false, tc)
 }
 
 // Store performs a data store to the line containing addr. The L1 is
@@ -333,6 +346,7 @@ func (s *System) postPrefetch(now uint64, pt *Port, addr uint64) {
 // absent lines pay the read-for-ownership walk including invalidation
 // round-trips.
 func (pt *Port) Store(p *sim.Proc, addr uint64) {
+	tc := pt.attr
 	cfg := &pt.sys.Cfg
 	line := addr / uint64(cfg.LineBytes)
 	p.Advance(cfg.L1Lat)
@@ -345,8 +359,8 @@ func (pt *Port) Store(p *sim.Proc, addr uint64) {
 	}
 	t0 := p.Now()
 	p.Advance(cfg.L2Lat)
-	pt.sys.sharedAccess(p, pt, addr, line, true)
-	pt.fillL2(p.Now(), line, true)
+	pt.sys.sharedAccess(p, pt, addr, line, true, tc)
+	pt.fillL2(p.Now(), line, true, tc)
 	pt.fillL1(line)
 	pt.sys.storeStall.Add(p.Now() - t0)
 }
@@ -359,6 +373,7 @@ func (pt *Port) Store(p *sim.Proc, addr uint64) {
 // how write streams (convert's output image, transpose's output
 // matrix) exert bus pressure in real machines.
 func (pt *Port) StoreStream(p *sim.Proc, addr uint64) {
+	tc := pt.attr
 	cfg := &pt.sys.Cfg
 	line := addr / uint64(cfg.LineBytes)
 	p.Advance(cfg.L1Lat)
@@ -376,9 +391,9 @@ func (pt *Port) StoreStream(p *sim.Proc, addr uint64) {
 		pt.sys.storeStall.Add(p.Now() - t0)
 		pt.drainStoreBuffer(p.Now())
 	}
-	done := pt.sys.postOwnership(p.Now(), pt, addr, line)
+	done := pt.sys.postOwnership(p.Now(), pt, addr, line, tc)
 	pt.sb = append(pt.sb, done)
-	pt.fillL2(p.Now(), line, true)
+	pt.fillL2(p.Now(), line, true, tc)
 	pt.fillL1(line)
 }
 
@@ -402,7 +417,7 @@ func (pt *Port) StoreBufferOccupancy() int { return len(pt.sb) }
 // atomic), the latencies accumulate into the returned completion
 // time, and any off-chip fetch is posted onto the DRAM bank and data
 // bus.
-func (s *System) postOwnership(now uint64, pt *Port, addr, line uint64) (done uint64) {
+func (s *System) postOwnership(now uint64, pt *Port, addr, line uint64, tc *TeamCtrs) (done uint64) {
 	cfg := &s.Cfg
 	bank := s.bankOf(line)
 	b := s.l3[bank]
@@ -447,11 +462,11 @@ func (s *System) postOwnership(now uint64, pt *Port, addr, line uint64) (done ui
 	// unready transactions.) The store completes when both its bus
 	// slot and its DRAM access have finished.
 	dramDone := s.DRAM.PostAccess(now+cfg.BusLat, addr)
-	busDone := s.Bus.PostTransfer(now)
+	busDone := s.Bus.PostTransfer(now, tc)
 	if dramDone > busDone {
 		busDone = dramDone
 	}
-	s.insertL3(now, bank, line, lineDirtyInL3)
+	s.insertL3(now, bank, line, lineDirtyInL3, tc)
 	return busDone
 }
 
@@ -468,7 +483,7 @@ func (pt *Port) ownsExclusive(line uint64) bool {
 // bank, directory actions, L3 lookup, and on a miss the off-chip
 // fetch. On return the line is present in the bank and p has been
 // charged the full round trip.
-func (s *System) sharedAccess(p *sim.Proc, pt *Port, addr, line uint64, write bool) {
+func (s *System) sharedAccess(p *sim.Proc, pt *Port, addr, line uint64, write bool, tc *TeamCtrs) {
 	cfg := &s.Cfg
 	bank := s.bankOf(line)
 	b := s.l3[bank]
@@ -515,8 +530,8 @@ func (s *System) sharedAccess(p *sim.Proc, pt *Port, addr, line uint64, write bo
 	} else {
 		s.l3Misses.Inc()
 		s.traceL3Miss(p.Now(), pt.core, bank)
-		s.fetchFromMemory(p, addr)
-		s.insertL3(p.Now(), bank, line, lineDirtyInL3)
+		s.fetchFromMemory(p, addr, tc)
+		s.insertL3(p.Now(), bank, line, lineDirtyInL3, tc)
 	}
 
 	p.Advance(s.Ring.CoreToBank(pt.core, bank))
@@ -525,16 +540,16 @@ func (s *System) sharedAccess(p *sim.Proc, pt *Port, addr, line uint64, write bo
 // fetchFromMemory performs the off-chip portion of a miss: command
 // phase, DRAM bank access, and the data phase that occupies the shared
 // bus — the paper's bandwidth bottleneck.
-func (s *System) fetchFromMemory(p *sim.Proc, addr uint64) {
+func (s *System) fetchFromMemory(p *sim.Proc, addr uint64, tc *TeamCtrs) {
 	p.Advance(s.Cfg.BusLat)
 	s.DRAM.Access(p, addr)
-	s.Bus.TransferLine(p)
+	s.Bus.TransferLine(p, tc)
 }
 
 // insertL3 places the fetched line into its bank, handling inclusion:
 // an evicted victim is dropped from every private cache that holds it,
 // and dirty victims are written back off-chip as posted transfers.
-func (s *System) insertL3(now uint64, bank int, line uint64, dirty bool) {
+func (s *System) insertL3(now uint64, bank int, line uint64, dirty bool, tc *TeamCtrs) {
 	victim, victimDirty, evicted := s.l3[bank].cache.Insert(line, dirty)
 	if !evicted {
 		return
@@ -549,14 +564,14 @@ func (s *System) insertL3(now uint64, bank int, line uint64, dirty bool) {
 		}
 	}
 	if victimDirty {
-		s.Bus.PostWriteback(now)
+		s.Bus.PostWriteback(now, tc)
 		s.DRAM.PostWrite(now, victim*uint64(s.Cfg.LineBytes))
 	}
 }
 
 // fillL2 installs the line in this core's L2, handling the victim:
 // directory bookkeeping plus a writeback of dirty data into the L3.
-func (pt *Port) fillL2(now uint64, line uint64, dirty bool) {
+func (pt *Port) fillL2(now uint64, line uint64, dirty bool, tc *TeamCtrs) {
 	victim, victimDirty, evicted := pt.l2.Insert(line, dirty)
 	if !evicted {
 		return
@@ -571,7 +586,7 @@ func (pt *Port) fillL2(now uint64, line uint64, dirty bool) {
 		s := pt.sys
 		vb := s.bankOf(victim)
 		if !s.l3[vb].cache.MarkDirty(victim) {
-			s.Bus.PostWriteback(now)
+			s.Bus.PostWriteback(now, tc)
 			s.DRAM.PostWrite(now, victim*uint64(s.Cfg.LineBytes))
 		}
 	}

@@ -1,0 +1,22 @@
+package mem
+
+import "fdt/internal/counters"
+
+// TeamCtrs is a tenant's bus-attribution handle: the memory system
+// charges every off-chip line transfer a thread causes — demand
+// fetches, posted ownership fetches, prefetches, and the writebacks
+// its fills force — to the counters of the team that thread belongs
+// to, alongside the machine-global counters the shared bus always
+// accumulates. A nil handle is the un-attributed (single-tenant
+// legacy) path and charges nothing.
+//
+// Attribution follows the requester: a victim writeback forced by
+// team A's fill is charged to team A even when the victim line was
+// dirtied by team B — the transfer happens because of A's access,
+// which is the accounting a bandwidth-partitioning scheduler needs.
+type TeamCtrs struct {
+	// BusBusy mirrors counters.BusBusyCycles for one team.
+	BusBusy *counters.Counter
+	// BusTxns mirrors counters.BusTransactions for one team.
+	BusTxns *counters.Counter
+}

@@ -1,0 +1,123 @@
+package mem
+
+import (
+	"testing"
+
+	"fdt/internal/counters"
+	"fdt/internal/sim"
+)
+
+// teamCtrs builds a standalone attribution handle over a private set.
+func teamCtrs() *TeamCtrs {
+	cs := counters.NewSet()
+	return &TeamCtrs{
+		BusBusy: cs.Counter("team.bus_busy"),
+		BusTxns: cs.Counter("team.bus_txns"),
+	}
+}
+
+func TestBusAttributesTransfersToTeam(t *testing.T) {
+	s, e, ctrs := testSystem(t)
+	tc := teamCtrs()
+	perL := s.Bus.CyclesPerLine()
+	run(e, func(p *sim.Proc) {
+		s.Bus.TransferLine(p, tc)
+		s.Bus.TransferLine(p, tc)
+		s.Bus.TransferLine(p, nil) // legacy un-attributed traffic
+	})
+	if got := tc.BusTxns.Read(); got != 2 {
+		t.Errorf("team transactions = %d, want 2", got)
+	}
+	if got, want := tc.BusBusy.Read(), 2*perL; got != want {
+		t.Errorf("team busy cycles = %d, want %d", got, want)
+	}
+	// The global counters see all three transfers: per-team sets
+	// decompose the global ones, they never replace them.
+	if got := ctrs.Counter(counters.BusTransactions).Read(); got != 3 {
+		t.Errorf("global transactions = %d, want 3", got)
+	}
+	if got, want := s.Bus.BusyCycles(), 3*perL; got != want {
+		t.Errorf("global busy cycles = %d, want %d", got, want)
+	}
+}
+
+func TestBusPostedAttribution(t *testing.T) {
+	s, _, ctrs := testSystem(t)
+	tc := teamCtrs()
+	perL := s.Bus.CyclesPerLine()
+	if done := s.Bus.PostTransfer(100, tc); done < 100+perL {
+		t.Errorf("posted transfer done at %d, want >= %d", done, 100+perL)
+	}
+	s.Bus.PostWriteback(0, tc)
+	if got := tc.BusTxns.Read(); got != 2 {
+		t.Errorf("team transactions = %d, want 2 (posted + writeback)", got)
+	}
+	if got, want := tc.BusBusy.Read(), 2*perL; got != want {
+		t.Errorf("team busy cycles = %d, want %d", got, want)
+	}
+	if got := ctrs.Counter(counters.BusTransactions).Read(); got != 2 {
+		t.Errorf("global transactions = %d, want 2", got)
+	}
+}
+
+// TestBusFaultTeamAttrSkew pins the mutation-test hook itself: the
+// fault under-charges the team, never the global counter — that gap
+// is exactly what the "team-bus-partition" invariant exists to catch.
+func TestBusFaultTeamAttrSkew(t *testing.T) {
+	s, e, _ := testSystem(t)
+	tc := teamCtrs()
+	perL := s.Bus.CyclesPerLine()
+	s.Bus.FaultTeamAttrSkew(1)
+	run(e, func(p *sim.Proc) {
+		s.Bus.TransferLine(p, tc)
+	})
+	if got := tc.BusBusy.Read(); got != perL-1 {
+		t.Errorf("skewed team busy = %d, want %d", got, perL-1)
+	}
+	if got := s.Bus.BusyCycles(); got != perL {
+		t.Errorf("global busy = %d, want %d (fault must not touch it)", got, perL)
+	}
+}
+
+// TestPortTeamAttribution drives real accesses through a port: a cold
+// miss goes off-chip and is charged to the installed handle; after
+// SetTeamCtrs(nil) further misses are un-attributed legacy traffic.
+func TestPortTeamAttribution(t *testing.T) {
+	s, e, ctrs := testSystem(t)
+	tc := teamCtrs()
+	a := s.Alloc(64)
+	b := s.Alloc(64)
+	pt := s.Port(0)
+	pt.SetTeamCtrs(tc)
+	run(e, func(p *sim.Proc) {
+		pt.Load(p, a) // cold: fetch charged to the team
+		pt.Load(p, a) // hot: no bus traffic at all
+		pt.SetTeamCtrs(nil)
+		pt.Load(p, b) // cold again, un-attributed
+	})
+	teamTx := tc.BusTxns.Read()
+	if teamTx == 0 {
+		t.Fatal("cold miss charged nothing to the team")
+	}
+	globalTx := ctrs.Counter(counters.BusTransactions).Read()
+	if teamTx >= globalTx {
+		t.Errorf("team saw %d of %d transactions; the un-attributed miss leaked into the team",
+			teamTx, globalTx)
+	}
+	if got, want := tc.BusBusy.Read(), teamTx*s.Bus.CyclesPerLine(); got != want {
+		t.Errorf("team busy %d != txns x cycles/line = %d", got, want)
+	}
+	// The geometry the attribution math leans on.
+	if pt.LineBytes() != s.Cfg.LineBytes {
+		t.Errorf("port line bytes %d != config %d", pt.LineBytes(), s.Cfg.LineBytes)
+	}
+	if s.Bus.Latency() != s.Cfg.BusLat {
+		t.Errorf("bus latency %d != config %d", s.Bus.Latency(), s.Cfg.BusLat)
+	}
+	if pt.L1().Sets()*pt.L1().Ways() == 0 {
+		t.Error("L1 geometry degenerate")
+	}
+	if s.L3BankCache(0) == nil {
+		t.Error("L3 bank 0 missing")
+	}
+}

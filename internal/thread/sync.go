@@ -74,6 +74,8 @@ func (c *Ctx) Critical(l *Lock, body func()) {
 	entered := p.Now()
 	ctrs.Counter(CtrCSWaitCycles).Add(entered - waitStart)
 	ctrs.Counter(CtrCSEntries).Inc()
+	c.team.ChargeCSWait(entered - waitStart)
+	c.team.ChargeCSEntry()
 	c.led.AddSync(entered - waitStart)
 
 	if l.Addr != 0 {
@@ -91,6 +93,7 @@ func (c *Ctx) Critical(l *Lock, body func()) {
 
 	exited := p.Now()
 	ctrs.Counter(CtrCSCycles).Add(exited - entered)
+	c.team.ChargeCS(exited - entered)
 
 	// One span per acquisition (plus one for any wait) on the thread's
 	// core track — the serialized critical-section stream of Eq 3,
@@ -179,6 +182,7 @@ func (c *Ctx) Barrier(b *Barrier) {
 	}
 	if now := p.Now(); now > start {
 		c.m.Ctrs.Counter(CtrBarrierWaitCycles).Add(now - start)
+		c.team.ChargeBarrierWait(now - start)
 		c.led.AddSync(now - start)
 		if tr := c.m.Trace; tr.Wants(trace.CatSync) {
 			tr.Emit(trace.CatSync, trace.Event{

@@ -14,6 +14,7 @@ package thread
 import (
 	"fmt"
 
+	"fdt/internal/counters"
 	"fdt/internal/cpu"
 	"fdt/internal/invariant"
 	"fdt/internal/machine"
@@ -46,6 +47,11 @@ type Ctx struct {
 	CPU *cpu.CPU
 
 	m *machine.Machine
+	// team is the thread's tenant: the contexts it may fork onto and
+	// the private counter file its synchronization and bus traffic
+	// accumulate into. Always set (single-tenant programs run on the
+	// machine's default whole-machine team).
+	team *machine.Team
 	// led is the hardware context's conservation ledger (nil when the
 	// invariant harness is disabled): sync waits charge Sync, the
 	// master's join park charges Idle.
@@ -54,6 +60,21 @@ type Ctx struct {
 
 // Machine exposes the machine the thread runs on.
 func (c *Ctx) Machine() *machine.Machine { return c.m }
+
+// Team exposes the thread's tenant.
+func (c *Ctx) Team() *machine.Team { return c.team }
+
+// TeamSize reports the thread capacity of this thread's team — the
+// clamp Fork applies and the "cores" a tenant's controller may choose
+// among (the whole machine for a single-tenant program).
+func (c *Ctx) TeamSize() int { return c.team.Size() }
+
+// TeamCounter reads a counter from the team's private counter file —
+// the per-tenant view a controller samples (e.g. its own threads'
+// critical-section cycles, not a co-runner's).
+func (c *Ctx) TeamCounter(name string) *counters.Counter {
+	return c.team.Ctrs.Counter(name)
+}
 
 // Compute advances this thread through cycles of ALU work.
 func (c *Ctx) Compute(cycles uint64) { c.CPU.Compute(cycles) }
@@ -118,59 +139,92 @@ func (c *Ctx) Range(lo, hi int) (myLo, myHi int) {
 	return myLo, myHi
 }
 
-// newCtx builds a thread context on a hardware context: the CPU sits
-// on the context's core, shares that core's memory port, and — under
+// newCtx builds a thread context on its team's slot-th hardware
+// context: the CPU sits on that context's core, shares that core's
+// memory port (attributing its bus traffic to the team), and — under
 // SMT — derates its compute by the core's current context load.
-func newCtx(m *machine.Machine, id, size, hwCtx int, p *sim.Proc) *Ctx {
+func newCtx(m *machine.Machine, team *machine.Team, id, size, slot int, p *sim.Proc) *Ctx {
+	hwCtx := team.Ctx(slot)
 	core := m.CoreOf(hwCtx)
 	c := cpu.New(core, m.Cfg.IssueWidth, p, m.Mem.Port(core))
+	c.SetTeamCtrs(team.MemAttr())
 	if m.Cfg.SMTContexts > 1 {
 		c.SetContention(func() int { return m.CoreLoad(core) })
 	}
 	led := m.ContextLedger(hwCtx)
 	c.SetLedger(led)
-	return &Ctx{ID: id, Size: size, CPU: c, m: m, led: led}
+	return &Ctx{ID: id, Size: size, CPU: c, m: m, team: team, led: led}
+}
+
+// TeamMain is one tenant's program: a master function to run on the
+// team's first context.
+type TeamMain struct {
+	Team *machine.Team
+	Main func(c *Ctx)
+}
+
+// RunTeams co-schedules one master thread per team — each on its
+// team's first hardware context, spawned in slice order (which fixes
+// the deterministic interleaving) — runs the simulation until every
+// program completes, and accounts each master's occupancy. It returns
+// each master's completion cycle, in input order. This is the
+// multi-tenant generalization of Run: the engine interleaves all
+// teams' processes against the shared memory system while each team
+// forks, synchronizes and accounts only within itself.
+func RunTeams(m *machine.Machine, mains []TeamMain) []uint64 {
+	// Occupy from the engine's current time, not 0: on a fresh machine
+	// they are the same, and on a checkpoint-restored machine (clock
+	// warped forward) the masters' active spans must start at the
+	// restore point.
+	done := make([]uint64, len(mains))
+	for i := range mains {
+		tm := mains[i]
+		m.OccupyContext(tm.Team.Ctx(0), m.Eng.Now())
+		i := i
+		m.Eng.Spawn(tm.Team.ProcName("master"), func(p *sim.Proc) {
+			tm.Main(newCtx(m, tm.Team, 0, 1, 0, p))
+			done[i] = p.Now()
+		})
+	}
+	m.Eng.Run()
+	// Auxiliary processes (the sampler) may keep the engine alive past
+	// a master's last action, and co-runners past a faster program's
+	// completion; each master's tail is idle occupancy.
+	end := m.Eng.Now()
+	for i := range mains {
+		ctx0 := mains[i].Team.Ctx(0)
+		m.ContextLedger(ctx0).AddIdle(end - done[i])
+		m.ReleaseContext(ctx0, end)
+	}
+	return done
 }
 
 // Run starts the program's master thread on hardware context 0 (core
 // 0), runs the simulation to completion, and accounts the master's
 // power. The master is active for the whole execution, like the
-// initial thread of an OpenMP program.
+// initial thread of an OpenMP program. The program runs on the
+// machine's default whole-machine team.
 func Run(m *machine.Machine, main func(c *Ctx)) {
-	// Occupy from the engine's current time, not 0: on a fresh machine
-	// they are the same, and on a checkpoint-restored machine (clock
-	// warped forward) the master's active span must start at the
-	// restore point.
-	m.OccupyContext(0, m.Eng.Now())
-	var done uint64
-	m.Eng.Spawn("master", func(p *sim.Proc) {
-		main(newCtx(m, 0, 1, 0, p))
-		done = p.Now()
-	})
-	m.Eng.Run()
-	// Auxiliary processes (the sampler) may keep the engine alive past
-	// the master's last action; that tail is idle occupancy.
-	m.ContextLedger(0).AddIdle(m.Eng.Now() - done)
-	m.ReleaseContext(0, m.Eng.Now())
+	RunTeams(m, []TeamMain{{Team: m.DefaultTeam(), Main: main}})
 }
 
-// Fork runs body on a team of n threads — thread i on hardware
-// context i, which spreads one thread per core before any core hosts
-// two (SMT) — and returns when every team member has finished (the
-// implicit join of a parallel region). The caller becomes thread 0.
-// n is clamped to [1, contexts]. Nested parallel regions are not
+// Fork runs body on a team of n threads — thread i on the team's i-th
+// context, which spreads one thread per owned core before any core
+// hosts two (SMT) — and returns when every team member has finished
+// (the implicit join of a parallel region). The caller becomes thread
+// 0. n is clamped to [1, TeamSize]. Nested parallel regions are not
 // supported, as in the paper's OpenMP setup: only the master (ID 0 of
 // a size-1 context) may fork.
 func (c *Ctx) Fork(n int, body func(tc *Ctx)) {
 	if !c.AtDecisionPoint() {
 		panic("thread: nested Fork is not supported")
 	}
-	m := c.m
+	m, t := c.m, c.team
 	if n < 1 {
 		n = 1
 	}
-	if n > m.Contexts() {
-		n = m.Contexts()
+	if n > t.Size() {
+		n = t.Size()
 	}
 	p := c.CPU.Proc()
 	if n > 1 {
@@ -180,11 +234,12 @@ func (c *Ctx) Fork(n int, body func(tc *Ctx)) {
 	join := &joinState{remaining: n - 1, master: p}
 	for i := 1; i < n; i++ {
 		i := i
-		m.OccupyContext(i, p.Now())
-		m.Eng.Spawn(fmt.Sprintf("worker-%d", i), func(wp *sim.Proc) {
-			tc := newCtx(m, i, n, i, wp)
+		hw := t.Ctx(i)
+		m.OccupyContext(hw, p.Now())
+		m.Eng.Spawn(t.ProcName(fmt.Sprintf("worker-%d", i)), func(wp *sim.Proc) {
+			tc := newCtx(m, t, i, n, i, wp)
 			body(tc)
-			m.ReleaseContext(i, wp.Now())
+			m.ReleaseContext(hw, wp.Now())
 			join.remaining--
 			if join.remaining == 0 && join.masterParked {
 				wp.Wake(join.master)
@@ -192,7 +247,7 @@ func (c *Ctx) Fork(n int, body func(tc *Ctx)) {
 		})
 	}
 
-	masterCtx := &Ctx{ID: 0, Size: n, CPU: c.CPU, m: m, led: c.led}
+	masterCtx := &Ctx{ID: 0, Size: n, CPU: c.CPU, m: m, team: t, led: c.led}
 	body(masterCtx)
 	if join.remaining > 0 {
 		join.masterParked = true
