@@ -123,6 +123,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			return f.String(), f.CSV(), f
 		}},
+		{"gauntlet", func() (string, string, any) {
+			g := experiments.RunGauntlet(o)
+			return g.String(), g.CSV(), g
+		}},
 		{"ablations", func() (string, string, any) {
 			as := experiments.RunAblations(o)
 			var texts, csvs []string

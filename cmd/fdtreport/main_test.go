@@ -66,6 +66,31 @@ func TestInterferenceRestricted(t *testing.T) {
 	}
 }
 
+func TestGauntletOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full gauntlet simulations")
+	}
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	args := []string{"-only", "gauntlet", "-fast", "-csv", dir}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Robustness gauntlet", "gauntlet/oscillate",
+		"gauntlet/eqclash", "oracle:", "hybrid", "hill-climb", "<- best"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "gauntlet.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "workload,breaks,oracle_threads,") {
+		t.Errorf("gauntlet.csv missing header: %q", string(csv[:min(len(csv), 60)]))
+	}
+}
+
 func TestFig2CSVAndJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep")

@@ -45,24 +45,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fdtsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workload  = fs.String("workload", "pagemine", "workload name (see -list)")
-		corun     = fs.String("corun", "", "co-schedule two workloads as \"a+b\" (overrides -workload; see -list)")
-		mapping   = fs.String("mapping", "packed", "thread-to-core mapping for -corun: packed, scattered, smt")
-		policy    = fs.String("policy", "sat+bat", "threading policy: sat, bat, sat+bat, static")
-		threads   = fs.Int("threads", 0, "thread count for -policy static (0 = all cores)")
-		cores     = fs.Int("cores", 32, "cores on the simulated chip")
-		bandwidth = fs.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
-		verify    = fs.Bool("verify", true, "verify the workload's computed results")
-		list      = fs.Bool("list", false, "list workloads and exit")
-		dumpCtrs  = fs.Bool("counters", false, "dump the machine's counter set")
-		sparkline = fs.Bool("sparkline", false, "sample the run and print bus/active-core sparklines")
-		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
-		check     = fs.Bool("check", false, "arm the runtime invariant checker (conservation, queueing, coherence, controller equations)")
-		useSample = fs.Bool("sampled", false, "execute kernels in sampled mode (steady-state fast-forward; see DESIGN.md Section 11)")
-		sampleTol = fs.Float64("sample-tol", 0, "sampled-mode stability tolerance (0 = default)")
-		sampleWin = fs.Int("sample-window", 0, "sampled-mode detailed-window length in iterations (0 = default)")
+		workload   = fs.String("workload", "pagemine", "workload name (see -list)")
+		corun      = fs.String("corun", "", "co-schedule two workloads as \"a+b\" (overrides -workload; see -list)")
+		mapping    = fs.String("mapping", "packed", "thread-to-core mapping for -corun: packed, scattered, smt")
+		policy     = fs.String("policy", "sat+bat", "threading policy: sat, bat, sat+bat, static")
+		threads    = fs.Int("threads", 0, "thread count for -policy static (0 = all cores)")
+		cores      = fs.Int("cores", 32, "cores on the simulated chip")
+		bandwidth  = fs.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
+		verify     = fs.Bool("verify", true, "verify the workload's computed results")
+		list       = fs.Bool("list", false, "list workloads and exit")
+		dumpCtrs   = fs.Bool("counters", false, "dump the machine's counter set")
+		sparkline  = fs.Bool("sparkline", false, "sample the run and print bus/active-core sparklines")
+		traceOut   = fs.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		check      = fs.Bool("check", false, "arm the runtime invariant checker (conservation, queueing, coherence, controller equations)")
+		useSample  = fs.Bool("sampled", false, "execute kernels in sampled mode (steady-state fast-forward; see DESIGN.md Section 11)")
+		sampleTol  = fs.Float64("sample-tol", 0, "sampled-mode stability tolerance (0 = default)")
+		sampleWin  = fs.Int("sample-window", 0, "sampled-mode detailed-window length in iterations (0 = default)")
+		probeIters = fs.Int("probe-iters", 0, "probe chunk length in iterations for -policy hillclimb/hybrid (0 = default)")
+		minGain    = fs.Float64("min-gain", 0, "fractional speedup a probed size needs to win, for -policy hillclimb/hybrid (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *probeIters < 0 {
+		fmt.Fprintf(stderr, "fdtsim: -probe-iters %d, want >= 0 (0 = default)\n", *probeIters)
+		return 2
+	}
+	if *minGain < 0 || *minGain >= 1 {
+		fmt.Fprintf(stderr, "fdtsim: -min-gain %g, want in [0, 1)\n", *minGain)
 		return 2
 	}
 
@@ -80,11 +90,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	hillClimb := false
+	hillClimb, hybrid := false, false
 	var pol core.Policy
 	switch strings.ToLower(*policy) {
 	case "hillclimb", "hill-climb":
 		hillClimb = true
+	case "hybrid":
+		hybrid = true
 	default:
 		var err error
 		pol, err = parsePolicy(*policy, *threads)
@@ -105,6 +117,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, "note: -trace forces exact execution (a golden trace must record every event)")
 		case hillClimb:
 			fmt.Fprintln(stdout, "note: -policy hillclimb forces exact execution (its probes time real chunks)")
+		case hybrid:
+			fmt.Fprintln(stdout, "note: -policy hybrid forces exact execution (its refinement probes time real chunks)")
 		default:
 			md = core.SampledMode()
 			md.Params.Tol = *sampleTol
@@ -131,21 +145,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *corun != "" {
-		if hillClimb {
-			fmt.Fprintln(stderr, "fdtsim: -policy hillclimb does not support -corun (its probes own the whole machine)")
+		if hillClimb || hybrid {
+			fmt.Fprintf(stderr, "fdtsim: -policy %s does not support -corun (its probes own the whole machine)\n", *policy)
 			return 2
 		}
 		return runCorun(m, *corun, *mapping, pol, md, *verify, *dumpCtrs, ck, samples, stdout, stderr)
 	}
 
-	w := info.Factory(m)
+	hc := core.HillClimb{ProbeIters: *probeIters, MinGain: *minGain}
+	hy := core.Hybrid{HP: core.HybridParams{ProbeIters: *probeIters, MinGain: *minGain}}
+	// Instrumented runs (sparklines, tracing, invariants, counter dumps)
+	// need the machine built here, with the observers attached; plain
+	// runs route through the keyed run cache so repeated invocations in
+	// one process (and the experiment figures) share the simulation.
+	instrumented := *sparkline || *traceOut != "" || *check || *dumpCtrs
+	var w core.Workload
 	var res core.RunResult
-	if hillClimb {
-		res = core.HillClimb{}.Run(m, w)
+	if instrumented {
+		w = info.Factory(m)
+		switch {
+		case hillClimb:
+			res = hc.Run(m, w)
+		case hybrid:
+			res = hy.Run(m, w)
+		default:
+			ctl := core.NewController(pol)
+			ctl.Mode = md
+			res = ctl.Run(m, w)
+		}
 	} else {
-		ctl := core.NewController(pol)
-		ctl.Mode = md
-		res = ctl.Run(m, w)
+		f := func(mm *machine.Machine) core.Workload {
+			w = info.Factory(mm)
+			return w
+		}
+		switch {
+		case hillClimb:
+			res = core.RunHillClimbKeyed(cfg, info.Name, f, hc)
+		case hybrid:
+			res = core.RunHybridKeyed(cfg, info.Name, f, hy)
+		default:
+			res = core.RunPolicyKeyedMode(cfg, info.Name, f, pol, md)
+		}
 	}
 
 	fmt.Fprintf(stdout, "workload   %s (%s)\n", res.Workload, info.Class)
@@ -330,7 +370,14 @@ func printList(stdout io.Writer) {
 	}
 	fmt.Fprintln(stdout, "\nEXTRAS (synthetic, outside Table 2)")
 	for _, info := range workloads.Extras() {
+		if strings.HasPrefix(info.Name, "gauntlet/") {
+			continue
+		}
 		fmt.Fprintf(stdout, "  %-10s %-12s %-28s %s\n", info.Name, info.Class, info.Problem, info.Input)
+	}
+	fmt.Fprintln(stdout, "\nGAUNTLET (adversarial robustness family; run with -workload gauntlet/<member>)")
+	for _, gm := range workloads.GauntletMembers() {
+		fmt.Fprintf(stdout, "  %-18s breaks: %s\n", gm.Name, gm.Breaks)
 	}
 	fmt.Fprintln(stdout, "\nCOMBINATORS")
 	fmt.Fprintf(stdout, "  %-10s %s\n", "corun", "co-schedule two workloads as concurrent teams: -corun a+b (e.g. pagemine+mg)")
@@ -341,6 +388,7 @@ func printList(stdout io.Writer) {
 		{"sat+bat", "combined FDT: min of both estimates, Eq. 7 (aliases: combined, fdt)"},
 		{"static", "fixed thread count: -threads N (0 = all cores)"},
 		{"hillclimb", "model-free baseline: times real chunks and climbs to a local optimum"},
+		{"hybrid", "model seed + bounded measured probes, falls back to pure measurement on model breakdown"},
 	} {
 		fmt.Fprintf(stdout, "  %-10s %s\n", p[0], p[1])
 	}

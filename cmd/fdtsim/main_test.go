@@ -17,14 +17,21 @@ func TestListWorkloads(t *testing.T) {
 	for _, want := range []string{
 		"WORKLOADS", "NAME", "pagemine", "ed", "mtwister",
 		"EXTRAS", "busburst", "phaseshift",
+		"GAUNTLET", "gauntlet/oscillate", "gauntlet/csdep", "gauntlet/busstorm", "gauntlet/eqclash",
+		"breaks: phases flip faster than the monitor interval",
 		"COMBINATORS", "corun",
-		"POLICIES", "sat+bat", "hillclimb",
+		"POLICIES", "sat+bat", "hillclimb", "hybrid",
 		"MAPPINGS", "packed", "scattered", "smt",
 		"MODES", "exact", "sampled",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing %q", want)
 		}
+	}
+	// The gauntlet members print in their own section, not as extras.
+	extras := out.String()[strings.Index(out.String(), "EXTRAS"):strings.Index(out.String(), "GAUNTLET")]
+	if strings.Contains(extras, "gauntlet/") {
+		t.Error("gauntlet members duplicated in the EXTRAS section")
 	}
 }
 
@@ -38,7 +45,11 @@ func TestBadInvocations(t *testing.T) {
 		{"-corun", "pagemine"},
 		{"-corun", "pagemine+mg", "-mapping", "nosuch"},
 		{"-corun", "pagemine+mg", "-policy", "hillclimb"},
+		{"-corun", "pagemine+mg", "-policy", "hybrid"},
 		{"-corun", "pagemine+mg", "-mapping", "smt"}, // 1 SMT plane, 2 teams
+		{"-probe-iters", "-1"},
+		{"-min-gain", "1.5"},
+		{"-min-gain", "-0.2"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
@@ -82,6 +93,34 @@ func TestCorunReportAndCheck(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("co-run report missing %q in:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestHybridRunReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated run")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-workload", "gauntlet/oscillate", "-policy", "hybrid",
+		"-cores", "8", "-probe-iters", "16", "-min-gain", "0.05"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"workload   gauntlet/oscillate", "policy     hybrid",
+		"exec time", "verify     ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
+	}
+	// The hybrid's probes always execute exactly, even under -sampled.
+	out.Reset()
+	errb.Reset()
+	args = append(args, "-sampled")
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("-sampled exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "note: -policy hybrid forces exact execution") {
+		t.Errorf("missing exact-execution note in:\n%s", out.String())
 	}
 }
 

@@ -39,21 +39,31 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "ed", "workload name")
-		corun     = flag.String("corun", "", "co-schedule two workloads as \"a+b\" and sweep the mapping dimension instead of thread counts")
-		mapStr    = flag.String("mapping", "", "with -corun: sweep only this mapping (packed, scattered, smt; default all valid)")
-		threadStr = flag.String("threads", "", "comma-separated static thread counts (default 1..cores)")
-		cores     = flag.Int("cores", 32, "cores on the simulated chip")
-		bandwidth = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
-		policies  = flag.String("policies", "sat,bat,sat+bat", "feedback policies to place on the curve")
-		parallel  = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
-		jsonPath  = flag.String("json", "", "write the sweep and policy runs as JSON to this file (\"-\" for stdout)")
-		useSample = flag.Bool("sampled", false, "execute sweep points in sampled mode (steady-state fast-forward)")
-		sampleTol = flag.Float64("sample-tol", 0, "sampled-mode stability tolerance (0 = default)")
-		sampleWin = flag.Int("sample-window", 0, "sampled-mode detailed-window length in iterations (0 = default)")
-		verifyAcc = flag.Bool("verify", false, "with -sampled: also run every point exactly and print the error table")
+		workload   = flag.String("workload", "ed", "workload name")
+		corun      = flag.String("corun", "", "co-schedule two workloads as \"a+b\" and sweep the mapping dimension instead of thread counts")
+		mapStr     = flag.String("mapping", "", "with -corun: sweep only this mapping (packed, scattered, smt; default all valid)")
+		threadStr  = flag.String("threads", "", "comma-separated static thread counts (default 1..cores)")
+		cores      = flag.Int("cores", 32, "cores on the simulated chip")
+		bandwidth  = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
+		policies   = flag.String("policies", "sat,bat,sat+bat", "feedback policies to place on the curve")
+		parallel   = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		jsonPath   = flag.String("json", "", "write the sweep and policy runs as JSON to this file (\"-\" for stdout)")
+		useSample  = flag.Bool("sampled", false, "execute sweep points in sampled mode (steady-state fast-forward)")
+		sampleTol  = flag.Float64("sample-tol", 0, "sampled-mode stability tolerance (0 = default)")
+		sampleWin  = flag.Int("sample-window", 0, "sampled-mode detailed-window length in iterations (0 = default)")
+		verifyAcc  = flag.Bool("verify", false, "with -sampled: also run every point exactly and print the error table")
+		probeIters = flag.Int("probe-iters", 0, "probe chunk length in iterations for hillclimb/hybrid policies (0 = default)")
+		minGain    = flag.Float64("min-gain", 0, "fractional speedup a probed size needs to win, for hillclimb/hybrid policies (0 = default)")
 	)
 	flag.Parse()
+	if *probeIters < 0 {
+		fmt.Fprintf(os.Stderr, "fdtsweep: -probe-iters %d, want >= 0 (0 = default)\n", *probeIters)
+		os.Exit(2)
+	}
+	if *minGain < 0 || *minGain >= 1 {
+		fmt.Fprintf(os.Stderr, "fdtsweep: -min-gain %g, want in [0, 1)\n", *minGain)
+		os.Exit(2)
+	}
 	runner.SetWorkers(*parallel)
 
 	md := core.ExactMode()
@@ -149,10 +159,14 @@ func main() {
 		var r core.RunResult
 		switch strings.ToLower(pname) {
 		case "hillclimb", "hill-climb":
-			// Hill-climbing is not a model-driven Policy — its probes
-			// time real chunks — so it runs outside the cache, exact.
-			m := machine.MustNew(cfg)
-			r = core.HillClimb{}.Run(m, factory(m))
+			// Hill-climbing and the hybrid are not model-driven Policies
+			// — their probes time real chunks — so their keyed runners
+			// always execute exact.
+			r = core.RunHillClimbKeyed(cfg, info.Name, factory,
+				core.HillClimb{ProbeIters: *probeIters, MinGain: *minGain})
+		case "hybrid":
+			r = core.RunHybridKeyed(cfg, info.Name, factory,
+				core.Hybrid{HP: core.HybridParams{ProbeIters: *probeIters, MinGain: *minGain}})
 		default:
 			pol, err := policyByName(pname)
 			if err != nil {

@@ -47,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workload  = fs.String("workload", "phaseshift", "workload name (see -list)")
 		corun     = fs.String("corun", "", "trace two co-scheduled workloads as \"a+b\" (overrides -workload)")
 		mapping   = fs.String("mapping", "packed", "thread-to-core mapping for -corun: packed, scattered, smt")
-		policy    = fs.String("policy", "adaptive", "threading policy: sat, bat, sat+bat, static, adaptive")
+		policy    = fs.String("policy", "adaptive", "threading policy: sat, bat, sat+bat, static, adaptive, hybrid")
 		threads   = fs.Int("threads", 0, "thread count for -policy static (0 = all cores)")
 		cores     = fs.Int("cores", 32, "cores on the simulated chip")
 		bandwidth = fs.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
@@ -110,6 +110,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"bandwidth": fmt.Sprintf("%g", *bandwidth),
 	}
 	if *corun != "" {
+		if strings.ToLower(*policy) == "hybrid" {
+			fmt.Fprintln(stderr, "fdttrace: -policy hybrid does not support -corun (its probes own the whole machine)")
+			return 2
+		}
 		a, b, err := workloads.ParsePair(*corun)
 		if err != nil {
 			fmt.Fprintf(stderr, "fdttrace: %v (try -list)\n", err)
@@ -158,6 +162,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		switch strings.ToLower(*policy) {
 		case "adaptive":
 			res = core.NewAdaptiveController(core.Combined{}, core.DefaultMonitorParams()).Run(m, w)
+		case "hybrid":
+			res = core.Hybrid{}.Run(m, w)
 		default:
 			pol, err := parsePolicy(*policy, *threads)
 			if err != nil {

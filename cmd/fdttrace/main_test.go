@@ -32,6 +32,7 @@ func TestBadInvocations(t *testing.T) {
 		{"-corun", "nosuch+mg"},
 		{"-corun", "pagemine+mg", "-mapping", "nosuch"},
 		{"-corun", "pagemine+mg", "-mapping", "smt"}, // 1 SMT plane, 2 teams
+		{"-corun", "pagemine+mg", "-policy", "hybrid"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer

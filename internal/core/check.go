@@ -39,6 +39,40 @@ func (cc ctlCheck) atDecision(c *thread.Ctx, cycle uint64) {
 	}
 }
 
+// hybridState asserts the legality of a hybrid controller state
+// transition: a fallback (model -> measured) is only legal when the
+// residual sits at or above the high threshold, and a recovery
+// (measured -> model) only when it has decayed to or below the low
+// one. Together with ResidualHigh > ResidualLow this is the hysteresis
+// guarantee — no residual value permits both transitions, so the
+// state machine cannot oscillate on one reading.
+func (cc ctlCheck) hybridState(c *thread.Ctx, from, to string, res float64, hp HybridParams, cycle uint64) {
+	if !cc.on {
+		return
+	}
+	cc.ck.Pass(1)
+	if !c.AtDecisionPoint() {
+		cc.ck.Failf("ctl-hybrid-state", cycle,
+			"hybrid %s->%s transition outside a decision point: thread %d of team %d",
+			from, to, c.ID, c.Size)
+		return
+	}
+	switch {
+	case from == "model" && to == "measured":
+		if res < hp.ResidualHigh {
+			cc.ck.Failf("ctl-hybrid-state", cycle,
+				"illegal fallback: residual %.4f below high threshold %.4f", res, hp.ResidualHigh)
+		}
+	case from == "measured" && to == "model":
+		if res > hp.ResidualLow {
+			cc.ck.Failf("ctl-hybrid-state", cycle,
+				"illegal recovery: residual %.4f above low threshold %.4f", res, hp.ResidualLow)
+		}
+	default:
+		cc.ck.Failf("ctl-hybrid-state", cycle, "unknown hybrid transition %s->%s", from, to)
+	}
+}
+
 // decision re-derives the policy's decision from the condensed
 // training measurements and checks the Estimate stage's output against
 // it, component by component.

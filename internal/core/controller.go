@@ -61,7 +61,14 @@ type PhaseDecision struct {
 	Cycles uint64
 	// Trigger names the drift signal that caused this phase's
 	// re-training ("cs" or "bus"); empty for the kernel's first phase.
+	// Hybrid executions add "fallback" (the residual crossed its high
+	// threshold), "recover" (it decayed below the low threshold) and
+	// "measure" (a measured-state re-climb).
 	Trigger string
+	// Mode records which hybrid state ran the phase ("model" or
+	// "measured"); empty for non-hybrid runs, so exact-mode JSON stays
+	// bit-identical to pre-hybrid releases.
+	Mode string `json:",omitempty"`
 }
 
 // KernelResult records how one kernel executed under a policy.
@@ -80,6 +87,13 @@ type KernelResult struct {
 	// Retrains counts the Monitor-triggered re-trainings (always
 	// len(Phases)-1 when Phases is set).
 	Retrains int
+	// Fallbacks and Recoveries count the hybrid controller's state
+	// transitions: model -> measured when the residual crossed its high
+	// threshold, and measured -> model when it decayed below the low
+	// one. Zero for every other controller (and omitted from JSON, so
+	// exact-mode output stays bit-identical to pre-hybrid releases).
+	Fallbacks  int `json:",omitempty"`
+	Recoveries int `json:",omitempty"`
 }
 
 // RunResult records a complete workload execution on one machine.

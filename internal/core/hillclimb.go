@@ -77,7 +77,7 @@ func (h HillClimb) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 		k.RunChunk(c, size, iter, iter+probe)
 		iter += probe
 		perIter := float64(c.CPU.CycleCount()-t0) / float64(probe)
-		if first || perIter < bestPerIter*(1-minGain) {
+		if first || improves(perIter, bestPerIter, minGain) {
 			best = size
 			bestPerIter = perIter
 			first = false

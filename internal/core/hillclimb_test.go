@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fdt/internal/machine"
+	"fdt/internal/thread"
 )
 
 func TestHillClimbStopsAtCSKnee(t *testing.T) {
@@ -77,5 +78,116 @@ func TestHillClimbCompletesAllIterations(t *testing.T) {
 func TestHillClimbName(t *testing.T) {
 	if (HillClimb{}).Name() != "hill-climb" {
 		t.Error("name changed")
+	}
+}
+
+// TestHillClimbOneIterationKernel: the degenerate kernel. The single
+// iteration doubles as the size-1 probe; no further probes fit, and
+// nothing remains for a tail chunk.
+func TestHillClimbOneIterationKernel(t *testing.T) {
+	m := machine.MustNew(machine.DefaultConfig())
+	f := newSynthFactory(1, 300, 20, 0)
+	w := f(m)
+	res := HillClimb{}.Run(m, w)
+	k := w.Kernels()[0].(*synthKernel)
+	if got := res.Kernels[0].Decision.Threads; got != 1 {
+		t.Errorf("one-iteration kernel decided %d threads, want 1", got)
+	}
+	if !k.coveredExactly(1) {
+		t.Errorf("chunk ranges do not partition [0, 1): %v", k.ranges)
+	}
+	if len(k.chunkTeams) != 1 || k.chunkTeams[0] != 1 {
+		t.Errorf("chunk teams = %v, want a single size-1 probe", k.chunkTeams)
+	}
+}
+
+// TestHillClimbProbeExceedsRemaining: a probe longer than the whole
+// kernel means no probe ever fits — the climber must settle on one
+// thread and still execute every iteration exactly once.
+func TestHillClimbProbeExceedsRemaining(t *testing.T) {
+	m := machine.MustNew(machine.DefaultConfig())
+	f := newSynthFactory(500, 300, 20, 0)
+	w := f(m)
+	res := HillClimb{ProbeIters: 1000}.Run(m, w)
+	k := w.Kernels()[0].(*synthKernel)
+	kr := res.Kernels[0]
+	if kr.Decision.Threads != 1 {
+		t.Errorf("probe-starved climb decided %d threads, want 1", kr.Decision.Threads)
+	}
+	if kr.TrainIters != 0 {
+		t.Errorf("probe-starved climb counted %d probe iterations, want 0", kr.TrainIters)
+	}
+	if !k.coveredExactly(500) {
+		t.Errorf("chunk ranges do not partition [0, 500): %v", k.ranges)
+	}
+	if len(k.chunkTeams) != 1 || k.chunkTeams[0] != 1 {
+		t.Errorf("chunk teams = %v, want a single size-1 execution chunk", k.chunkTeams)
+	}
+}
+
+// TestHillClimbMonotoneDegrading: a kernel that is pure critical
+// section scales negatively with every added thread, so the very first
+// doubling probe must already lose and the climb settles at one.
+func TestHillClimbMonotoneDegrading(t *testing.T) {
+	m := machine.MustNew(machine.DefaultConfig())
+	f := newSynthFactory(2000, 64, 2000, 0)
+	w := f(m)
+	res := HillClimb{}.Run(m, w)
+	k := w.Kernels()[0].(*synthKernel)
+	if got := res.Kernels[0].Decision.Threads; got != 1 {
+		t.Errorf("monotone-degrading kernel decided %d threads, want 1", got)
+	}
+	for i, team := range k.chunkTeams {
+		if i >= 2 && team != 1 {
+			t.Errorf("chunk %d ran at %d threads after the climb should have stopped: %v", i, team, k.chunkTeams)
+			break
+		}
+	}
+	if !k.coveredExactly(2000) {
+		t.Errorf("chunk ranges do not partition [0, 2000): %v", k.ranges)
+	}
+}
+
+// nonScalingKernel gives every thread the full per-iteration compute
+// instead of a share: a doubled team finishes the chunk in the same
+// wall-clock time, so the candidate ties the incumbent on useful work
+// and only the fork overhead separates them. The tie must not displace
+// the incumbent (improves is strict about MinGain).
+type nonScalingKernel struct {
+	iters  int
+	teams  []int
+	ranges [][2]int
+}
+
+func (k *nonScalingKernel) Name() string    { return "non-scaling" }
+func (k *nonScalingKernel) Iterations() int { return k.iters }
+
+func (k *nonScalingKernel) RunChunk(master *thread.Ctx, n, lo, hi int) {
+	k.teams = append(k.teams, n)
+	k.ranges = append(k.ranges, [2]int{lo, hi})
+	master.Fork(n, func(tc *thread.Ctx) {
+		for it := lo; it < hi; it++ {
+			tc.Compute(800)
+		}
+	})
+}
+
+func TestHillClimbTieKeepsIncumbent(t *testing.T) {
+	m := machine.MustNew(machine.DefaultConfig())
+	k := &nonScalingKernel{iters: 1000}
+	w := &synthWorkload{name: "non-scaling", kernels: []Kernel{k}}
+	res := HillClimb{}.Run(m, w)
+	if got := res.Kernels[0].Decision.Threads; got != 1 {
+		t.Errorf("tied throughput displaced the incumbent: decided %d threads, want 1", got)
+	}
+	next := 0
+	for _, r := range k.ranges {
+		if r[0] != next {
+			t.Fatalf("chunk ranges do not partition [0, 1000): %v", k.ranges)
+		}
+		next = r[1]
+	}
+	if next != 1000 {
+		t.Errorf("kernel ended at iteration %d, want 1000", next)
 	}
 }

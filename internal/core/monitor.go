@@ -79,10 +79,79 @@ type SteadyState struct {
 	CyclesPerIter, CSPerIter, BusPerIter float64
 }
 
+// Residual integrates the evidence stream behind the hybrid
+// controller's fallback decision: an exponentially weighted moving
+// average of relative deviations between observed per-interval signals
+// and the model's (calibrated) expectations, plus the misprediction
+// penalties the refinement probes feed it. Deviations are clamped at
+// residualDevCap so one pathological interval cannot pin the average
+// beyond recovery.
+type Residual struct {
+	// Decay is each new observation's EWMA weight; zero or
+	// out-of-range values fall back to 0.25.
+	Decay float64
+
+	v float64
+	n int
+}
+
+// residualDevCap bounds a single deviation observation.
+const residualDevCap = 2.0
+
+// Observe folds one (non-negative) deviation into the average.
+func (r *Residual) Observe(dev float64) {
+	if dev < 0 {
+		dev = -dev
+	}
+	if dev > residualDevCap {
+		dev = residualDevCap
+	}
+	a := r.Decay
+	if a <= 0 || a > 1 {
+		a = 0.25
+	}
+	r.v = (1-a)*r.v + a*dev
+	r.n++
+}
+
+// Value reports the current EWMA.
+func (r *Residual) Value() float64 { return r.v }
+
+// Samples reports how many observations have been folded in.
+func (r *Residual) Samples() int { return r.n }
+
+// relDev is the continuous form of the drift test: the absolute
+// difference over the smaller signal. Differences under the noise
+// floor contribute zero, and the denominator is floored so a
+// near-zero expectation cannot blow the ratio up.
+func relDev(obs, exp, floor float64) float64 {
+	diff := obs - exp
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff <= floor {
+		return 0
+	}
+	lo := obs
+	if exp < obs {
+		lo = exp
+	}
+	if lo < floor {
+		lo = floor
+	}
+	return diff / lo
+}
+
 // Monitor watches one kernel's execution against its trained
 // estimate. Arm it after estimation, then Observe after every chunk.
 type Monitor struct {
 	Params MonitorParams
+
+	// Res, when non-nil, receives the continuous deviation of every
+	// post-calibration interval (one observation per interval: the
+	// worse of the CS and bus signals) — the hybrid controller's
+	// residual plumbing. The binary drift verdict is unaffected.
+	Res *Residual
 
 	expCS, expBus float64
 	calibrated    bool
@@ -161,6 +230,16 @@ func (mo *Monitor) Observe(c *thread.Ctx, iters, nextIter int) *Drift {
 		mo.expCS, mo.expBus = obsCS, obsBus
 		mo.calibrated = true
 		return nil
+	}
+	if mo.Res != nil {
+		// One observation per interval: the worse of the two signals.
+		// Folding both would dilute a drifting signal with the quiet
+		// one's zeros.
+		dev := relDev(obsCS, mo.expCS, mo.Params.CSFloorCycles)
+		if b := relDev(obsBus, mo.expBus, mo.Params.BusFloorCycles); b > dev {
+			dev = b
+		}
+		mo.Res.Observe(dev)
 	}
 	// Bus first: a phase that both saturates the bus and synchronizes
 	// more is bandwidth-limited first (Section 6.3's interaction).

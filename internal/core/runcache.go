@@ -175,18 +175,46 @@ func SweepKeyedMode(cfg machine.Config, wkey string, f Factory, threadCounts []i
 // allocation baseline (see HillClimb). Hill-climbing measures real
 // probe chunks, so it always runs exact — sampling would falsify the
 // very measurements it climbs on.
-func RunHillClimb(cfg machine.Config, f Factory) RunResult {
+func RunHillClimb(cfg machine.Config, f Factory, hc HillClimb) RunResult {
 	m := machine.MustNew(cfg)
-	return HillClimb{}.Run(m, f(m))
+	return hc.Run(m, f(m))
 }
 
-// RunHillClimbKeyed is RunHillClimb through the run cache.
-func RunHillClimbKeyed(cfg machine.Config, wkey string, f Factory) RunResult {
+// RunHillClimbKeyed is RunHillClimb through the run cache. The
+// climber's tuning joins the content address, so runs with different
+// probe lengths or gain thresholds never collide.
+func RunHillClimbKeyed(cfg machine.Config, wkey string, f Factory, hc HillClimb) RunResult {
 	if wkey == "" {
-		return RunHillClimb(cfg, f)
+		return RunHillClimb(cfg, f, hc)
 	}
-	key := ConfigKey(cfg) + "|" + wkey + "|policy/hill-climb"
+	key := ConfigKey(cfg) + "|" + wkey + fmt.Sprintf("|policy/hill-climb/%+v", hc)
 	return runCache.Do(key, func() RunResult {
-		return RunHillClimb(cfg, f)
+		return RunHillClimb(cfg, f, hc)
+	})
+}
+
+// RunHybrid executes the workload under the hybrid model+measurement
+// controller. Like hill-climbing it always runs exact: the refinement
+// probes time real chunks.
+func RunHybrid(cfg machine.Config, f Factory, h Hybrid) RunResult {
+	m := machine.MustNew(cfg)
+	return h.Run(m, f(m))
+}
+
+// RunHybridKeyed is RunHybrid through the run cache. The hybrid tuning
+// (probe budget, residual thresholds, monitor cadence) joins the
+// content address.
+func RunHybridKeyed(cfg machine.Config, wkey string, f Factory, h Hybrid) RunResult {
+	if wkey == "" {
+		return RunHybrid(cfg, f, h)
+	}
+	seed := "combined"
+	if h.Policy != nil {
+		seed = h.Policy.Name()
+	}
+	key := ConfigKey(cfg) + "|" + wkey +
+		fmt.Sprintf("|policy/hybrid/seed=%s/%+v|train/%+v", seed, h.HP, h.Params)
+	return runCache.Do(key, func() RunResult {
+		return RunHybrid(cfg, f, h)
 	})
 }

@@ -141,8 +141,7 @@ func AblationTrainingOverhead(o Options) Ablation {
 	a := Ablation{Title: "FDT training vs hill-climbing allocation search"}
 	for _, name := range []string{"pagemine", "ed", "bscholes"} {
 		fdt := core.RunPolicyKeyedMode(o.Cfg, name, factory(name), core.Combined{}, o.Mode)
-		m := machine.MustNew(o.Cfg)
-		hc := core.HillClimb{}.Run(m, factory(name)(m))
+		hc := core.RunHillClimbKeyed(o.Cfg, name, factory(name), core.HillClimb{})
 		a.Rows = append(a.Rows,
 			AblationRow{
 				Config: "FDT (SAT+BAT)", Workload: name,

@@ -295,6 +295,67 @@ func Assertions() []Assertion {
 			},
 		},
 		{
+			Name:  "gauntlet-hybrid-never-worse",
+			Claim: "On every gauntlet member the hybrid controller's time-vs-oracle ratio is at most the worse of its two parents — the pure-model adaptive pipeline and pure-measurement hill-climbing — so seeding from the model and refining by measurement never combines their failure modes (robustness gauntlet).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				g := experiments.RunGauntlet(o)
+				for _, m := range g.Members {
+					hy, ad, hc, err := gauntletParents(g, m.Workload)
+					if err != nil {
+						return err
+					}
+					worst := ad.VsOracle
+					if hc.VsOracle > worst {
+						worst = hc.VsOracle
+					}
+					if hy.VsOracle > worst {
+						return fmt.Errorf("%s: hybrid %.3fx oracle, worse than both parents (adaptive %.3fx, hill-climb %.3fx)",
+							m.Workload, hy.VsOracle, ad.VsOracle, hc.VsOracle)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "gauntlet-recovers-on-model-break",
+			Claim: "When busstorm's periodic bursts break the trained bus expectation, the hybrid controller falls back to measured mode at least once and still finishes within 1.10x of the static oracle — the fallback path is exercised by a real model break and it works (robustness gauntlet).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				g := experiments.RunGauntlet(o)
+				r, ok := g.Row("gauntlet/busstorm", "hybrid")
+				if !ok {
+					return fmt.Errorf("gauntlet/busstorm: no hybrid row")
+				}
+				if r.Fallbacks < 1 {
+					return fmt.Errorf("gauntlet/busstorm: hybrid never fell back (%d fallbacks) — the model break went unnoticed", r.Fallbacks)
+				}
+				if r.VsOracle > 1.10 {
+					return fmt.Errorf("gauntlet/busstorm: hybrid %.3fx oracle after fallback, want <= 1.10x", r.VsOracle)
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "gauntlet-fallback-hysteresis-no-thrash",
+			Claim: "On every gauntlet member the hybrid state machine transitions at most twice in each direction — the residual hysteresis band (fall back at High, recover at Low < High) prevents fallback/recover thrash even on adversarial inputs (robustness gauntlet).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				g := experiments.RunGauntlet(o)
+				for _, m := range g.Members {
+					r, ok := g.Row(m.Workload, "hybrid")
+					if !ok {
+						return fmt.Errorf("%s: no hybrid row", m.Workload)
+					}
+					if r.Fallbacks > 2 || r.Recoveries > 2 {
+						return fmt.Errorf("%s: hybrid state machine thrashed — %d fallbacks / %d recoveries, want <= 2 each",
+							m.Workload, r.Fallbacks, r.Recoveries)
+					}
+				}
+				return nil
+			},
+		},
+		{
 			Name:  "corun-mapping-matters",
 			Claim: "Thread-to-core mapping is a first-order knob for co-scheduling: packed and scattered mappings of the same pagemine+mg pair differ in makespan by at least 10%.",
 			Check: func(o experiments.Options) error {
@@ -318,6 +379,22 @@ func Assertions() []Assertion {
 			},
 		},
 	}
+}
+
+// gauntletParents pulls one member's hybrid row and its two parent
+// controllers' rows from the gauntlet scoreboard.
+func gauntletParents(g experiments.Gauntlet, workload string) (hy, ad, hc experiments.GauntletRow, err error) {
+	var ok bool
+	if hy, ok = g.Row(workload, "hybrid"); !ok {
+		return hy, ad, hc, fmt.Errorf("%s: no hybrid row", workload)
+	}
+	if ad, ok = g.Row(workload, "adaptive"); !ok {
+		return hy, ad, hc, fmt.Errorf("%s: no adaptive row", workload)
+	}
+	if hc, ok = g.Row(workload, "hill-climb"); !ok {
+		return hy, ad, hc, fmt.Errorf("%s: no hill-climb row", workload)
+	}
+	return hy, ad, hc, nil
 }
 
 // corunSpec builds a train-once SAT+BAT tenant spec for a registered

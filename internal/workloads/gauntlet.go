@@ -1,0 +1,308 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/thread"
+)
+
+// The gauntlet is a family of adversarial synthetic kernels, each
+// engineered to break one assumption behind the FDT model equations
+// (no paper counterpart; registered as extras, outside Table 2). They
+// exist to score controllers on robustness: the paper's policies are
+// correct when Eq. 3/5/7's assumptions hold, and the gauntlet is the
+// set of worlds where they don't.
+//
+//	oscillate — sub-phases alternate faster than the monitor interval,
+//	            so every execution interval has a different phase mix:
+//	            the adaptive pipeline's drift test fires continuously
+//	            and retraining thrashes (each retrain trains on one
+//	            sub-phase and decides for the wrong mixture).
+//	csdep     — the critical-section cost scales with the team size, so
+//	            Eq. 3's premise (T_CS measured once, at one thread, is
+//	            the T_CS of every allocation) is false. Behaviour is
+//	            perfectly stationary in time — the monitor never sees
+//	            drift — but single-threaded training wildly
+//	            underestimates contention and SAT over-allocates.
+//	busstorm  — bus traffic arrives in periodic bursts riding
+//	            busburst's quiet/stream pattern. Training lands in a
+//	            quiet stretch, BAT excludes bandwidth, and the decision
+//	            is blind to the storms; every burst edge drifts.
+//	eqclash   — a bandwidth-saturated streaming prefix covers the
+//	            entire training window, then the kernel turns embarrassingly
+//	            parallel: Eq. 5 reads "2 threads", Eq. 3 reads "no
+//	            critical sections, take all 32" — maximal disagreement,
+//	            with the training window deciding which wins.
+//
+// All members compute a real reduction (Verify checks it), and all
+// randomness is a seeded xorshift at construction time — identical
+// runs produce identical simulations.
+
+// Adversary is one gauntlet kernel; Kind selects the member.
+type Adversary struct {
+	m *machine.Machine
+	p AdversaryParams
+
+	vec        []float64
+	vecAddr    uint64
+	streamAddr uint64
+	lock       *thread.Lock
+	accAddr    uint64
+
+	sum float64
+}
+
+// AdversaryParams sizes an Adversary.
+type AdversaryParams struct {
+	// Kind selects the member: "oscillate", "csdep", "busstorm" or
+	// "eqclash".
+	Kind string
+	// Iters is the kernel length.
+	Iters int
+	// Elems is the elements processed per iteration.
+	Elems int
+	// ComputeInstr is the per-element arithmetic of compute iterations.
+	ComputeInstr uint64
+	// MergeInstr is the critical-section work of one merge (oscillate:
+	// per merging thread; csdep: multiplied by the team size — the
+	// assumption breaker).
+	MergeInstr uint64
+	// StreamInstr is the per-element arithmetic of streaming
+	// iterations (busstorm, eqclash).
+	StreamInstr uint64
+	// HalfPeriod is oscillate's sub-phase length in iterations; a full
+	// scalable+CS period is twice this. Keep it under the monitor
+	// interval to make interval composition vary.
+	HalfPeriod int
+	// QuietIters/BurstIters are busstorm's repeating pattern: each
+	// period streams for BurstIters after QuietIters of quiet compute.
+	QuietIters, BurstIters int
+	// PrefixIters is eqclash's bandwidth-saturated prefix length.
+	PrefixIters int
+	// Seed seeds the input generator.
+	Seed uint64
+}
+
+// DefaultAdversaryParams returns the gauntlet configuration of one
+// member kind.
+func DefaultAdversaryParams(kind string) AdversaryParams {
+	p := AdversaryParams{
+		Kind:         kind,
+		Iters:        960,
+		Elems:        2048,
+		ComputeInstr: 4,
+		Seed:         0xad7e,
+	}
+	switch kind {
+	case "oscillate":
+		p.MergeInstr = 100
+		p.HalfPeriod = 24
+	case "csdep":
+		p.Iters = 768
+		p.MergeInstr = 8
+	case "busstorm":
+		p.Iters = 1024
+		p.StreamInstr = 2
+		p.QuietIters = 96
+		p.BurstIters = 32
+	case "eqclash":
+		p.Iters = 1024
+		p.StreamInstr = 2
+		p.PrefixIters = 256
+	}
+	return p
+}
+
+// NewAdversary builds the workload on m.
+func NewAdversary(m *machine.Machine, p AdversaryParams) *Adversary {
+	mustMachine(m, "gauntlet")
+	switch p.Kind {
+	case "oscillate", "csdep", "busstorm", "eqclash":
+	default:
+		panic(fmt.Sprintf("workloads: unknown adversary kind %q", p.Kind))
+	}
+	w := &Adversary{m: m, p: p}
+	w.vec = make([]float64, p.Elems)
+	r := newRNG(p.Seed)
+	for i := range w.vec {
+		w.vec[i] = r.float64()*2 - 1
+	}
+	w.vecAddr = m.Alloc(8 * p.Elems)
+	if blocks := w.streamBlocks(p.Iters); blocks > 0 {
+		w.streamAddr = m.Alloc(8 * p.Elems * blocks)
+	}
+	w.lock = thread.NewLock(m)
+	w.accAddr = m.Alloc(64)
+	return w
+}
+
+// Name implements core.Workload.
+func (w *Adversary) Name() string { return "gauntlet/" + w.p.Kind }
+
+// Kernels implements core.Workload: one kernel, so only the controller
+// — not per-kernel retraining — can react to anything.
+func (w *Adversary) Kernels() []core.Kernel { return []core.Kernel{w} }
+
+// Setup implements core.SetupWorkload.
+func (w *Adversary) Setup(c *thread.Ctx) {
+	c.LoadRange(w.vecAddr, 8*w.p.Elems)
+}
+
+// Iterations implements core.Kernel.
+func (w *Adversary) Iterations() int { return w.p.Iters }
+
+// csIter reports whether iteration it merges under the lock.
+func (w *Adversary) csIter(it int) bool {
+	switch w.p.Kind {
+	case "oscillate":
+		return (it/w.p.HalfPeriod)%2 == 1
+	case "csdep":
+		return true
+	}
+	return false
+}
+
+// streamIter reports whether iteration it streams a fresh block.
+func (w *Adversary) streamIter(it int) bool {
+	switch w.p.Kind {
+	case "busstorm":
+		return it%(w.p.QuietIters+w.p.BurstIters) >= w.p.QuietIters
+	case "eqclash":
+		return it < w.p.PrefixIters
+	}
+	return false
+}
+
+// streamBlocks counts the streaming iterations in [0, it) — the block
+// index of iteration it, and (at it = Iters) the allocation size.
+func (w *Adversary) streamBlocks(it int) int {
+	switch w.p.Kind {
+	case "busstorm":
+		period := w.p.QuietIters + w.p.BurstIters
+		n := (it / period) * w.p.BurstIters
+		if rem := it % period; rem > w.p.QuietIters {
+			n += rem - w.p.QuietIters
+		}
+		return n
+	case "eqclash":
+		if it > w.p.PrefixIters {
+			return w.p.PrefixIters
+		}
+		return it
+	}
+	return 0
+}
+
+// RunChunk implements core.Kernel: iterations [lo, hi) on a team of
+// n, each ending at a barrier.
+func (w *Adversary) RunChunk(master *thread.Ctx, n, lo, hi int) {
+	bar := &thread.Barrier{}
+	master.Fork(n, func(tc *thread.Ctx) {
+		var partial float64
+		for it := lo; it < hi; it++ {
+			myLo, myHi := tc.Range(0, w.p.Elems)
+			share := uint64(myHi - myLo)
+			if share > 0 {
+				base := w.vecAddr + uint64(8*myLo)
+				instr := w.p.ComputeInstr
+				if w.streamIter(it) {
+					base = w.streamAddr + uint64(8*(w.streamBlocks(it)*w.p.Elems+myLo))
+					instr = w.p.StreamInstr
+				}
+				tc.LoadRange(base, int(8*share))
+				tc.Exec(share * instr)
+				for i := myLo; i < myHi; i++ {
+					partial += w.vec[i] * w.vec[i]
+				}
+			}
+			if w.csIter(it) {
+				tc.Critical(w.lock, func() {
+					merge := w.p.MergeInstr
+					if w.p.Kind == "csdep" {
+						// The assumption breaker: the merge walks a
+						// structure that grows with the team, so its cost
+						// scales with the allocation — single-threaded
+						// training sees the cheapest possible merge.
+						merge *= uint64(tc.Size)
+					}
+					tc.Load(w.accAddr)
+					tc.Exec(merge)
+					tc.Store(w.accAddr)
+					w.sum += partial
+					partial = 0
+				})
+			}
+			tc.Barrier(bar)
+		}
+		if partial != 0 {
+			tc.Critical(w.lock, func() {
+				tc.Exec(4)
+				w.sum += partial
+			})
+		}
+	})
+}
+
+// Verify recomputes the reduction serially: every iteration of every
+// member accumulates the shared vector's sum of squares (streaming
+// iterations stream separate memory but reduce the shared vector).
+func (w *Adversary) Verify() error {
+	var per float64
+	for _, v := range w.vec {
+		per += v * v
+	}
+	want := per * float64(w.p.Iters)
+	if diff := math.Abs(want - w.sum); diff > 1e-6*math.Abs(want) {
+		return fmt.Errorf("%s: sum %v, want %v", w.Name(), w.sum, want)
+	}
+	return nil
+}
+
+// GauntletMember describes one gauntlet entry for listings and the
+// robustness experiment.
+type GauntletMember struct {
+	// Name is the registry key ("gauntlet/oscillate", ...).
+	Name string
+	// Breaks names the model assumption the member violates.
+	Breaks string
+}
+
+// GauntletMembers lists the gauntlet in registration order.
+func GauntletMembers() []GauntletMember {
+	return []GauntletMember{
+		{"gauntlet/oscillate", "phases flip faster than the monitor interval; retraining thrashes on interval composition"},
+		{"gauntlet/csdep", "critical-section cost scales with team size; Eq. 3's stationary-T_CS premise"},
+		{"gauntlet/busstorm", "bus traffic arrives in periodic bursts; Eq. 5's steady bus-utilization premise"},
+		{"gauntlet/eqclash", "bandwidth-saturated prefix covers the training window; Eq. 3 and Eq. 5 disagree maximally"},
+	}
+}
+
+func init() {
+	class := map[string]Class{
+		"oscillate": CSLimited,
+		"csdep":     CSLimited,
+		"busstorm":  BWLimited,
+		"eqclash":   BWLimited,
+	}
+	input := map[string]string{
+		"oscillate": "960 iters x 2048 elems, 24-iter sub-phases",
+		"csdep":     "768 iters x 2048 elems, merge cost x team size",
+		"busstorm":  "1024 iters x 2048 elems, 96 quiet + 32 burst",
+		"eqclash":   "1024 iters x 2048 elems, 256-iter stream prefix",
+	}
+	for _, kind := range []string{"oscillate", "csdep", "busstorm", "eqclash"} {
+		kind := kind
+		registerExtra(Info{
+			Name:    "gauntlet/" + kind,
+			Class:   class[kind],
+			Problem: "Adversarial model-assumption breaker (" + kind + ")",
+			Input:   input[kind],
+			Factory: func(m *machine.Machine) core.Workload {
+				return NewAdversary(m, DefaultAdversaryParams(kind))
+			},
+		})
+	}
+}
