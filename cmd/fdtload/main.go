@@ -1,0 +1,265 @@
+// Command fdtload is the load generator for fdtd: N concurrent
+// clients each submit M identical sweep jobs and poll them to
+// completion, then the tool reports throughput, latency percentiles,
+// and the daemon's cache-hit picture (from /v1/stats deltas) so a
+// cold run and a warm re-run can be compared directly.
+//
+//	fdtd -addr :8080 -store /tmp/runs &
+//	fdtload -addr localhost:8080 -clients 4 -requests 8
+//	fdtload -addr localhost:8080 -clients 4 -requests 8 -json > warm.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Report is the machine-readable output (-json), also the schema of
+// BENCH_PR9.json entries.
+type Report struct {
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests_per_client"`
+	Total      int     `json:"total_requests"`
+	Failed     int     `json:"failed"`
+	WallSec    float64 `json:"wall_seconds"`
+	Throughput float64 `json:"jobs_per_second"`
+	// Latency of submit -> done, milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// Daemon-side deltas over this load run.
+	Computes    uint64  `json:"computes"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	StoreHits   uint64  `json:"store_hits"`
+	HitRatio    float64 `json:"hit_ratio"`
+}
+
+type statsSnap struct {
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	CacheComputes uint64 `json:"cache_computes"`
+	Store         *struct {
+		Hits uint64 `json:"hits"`
+	} `json:"store,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdtload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "localhost:8080", "fdtd address (host:port)")
+	clients := fs.Int("clients", 4, "concurrent clients")
+	requests := fs.Int("requests", 4, "requests per client")
+	workload := fs.String("workload", "pagemine", "workload to sweep")
+	threadsFlag := fs.String("threads", "2,4", "comma-separated thread counts")
+	policiesFlag := fs.String("policies", "", "comma-separated policies to place (optional)")
+	cores := fs.Int("cores", 8, "simulated cores")
+	mode := fs.String("mode", "exact", "simulation mode: exact or sampled")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "fdtload: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	if *clients < 1 || *requests < 1 {
+		fmt.Fprintln(stderr, "fdtload: -clients and -requests must be >= 1")
+		return 2
+	}
+
+	var threads []int
+	if *threadsFlag != "" {
+		for _, f := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(stderr, "fdtload: bad -threads %q: %v\n", *threadsFlag, err)
+				return 2
+			}
+			threads = append(threads, n)
+		}
+	}
+	var policies []string
+	if *policiesFlag != "" {
+		for _, p := range strings.Split(*policiesFlag, ",") {
+			policies = append(policies, strings.TrimSpace(p))
+		}
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	spec := map[string]any{
+		"workload": *workload, "cores": *cores, "mode": *mode,
+	}
+	if len(threads) > 0 {
+		spec["threads"] = threads
+	}
+	if len(policies) > 0 {
+		spec["policies"] = policies
+	}
+
+	before, err := fetchStats(base)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdtload: %v\n", err)
+		return 1
+	}
+
+	total := *clients * *requests
+	latencies := make([]time.Duration, total)
+	errs := make([]error, total)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := fmt.Sprintf("load-%d", c)
+			for r := 0; r < *requests; r++ {
+				i := c**requests + r
+				t0 := time.Now()
+				errs[i] = oneJob(base, client, spec)
+				latencies[i] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	after, err := fetchStats(base)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdtload: %v\n", err)
+		return 1
+	}
+
+	failed := 0
+	for i, e := range errs {
+		if e != nil {
+			failed++
+			if failed <= 3 {
+				fmt.Fprintf(stderr, "fdtload: request %d: %v\n", i, e)
+			}
+		}
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		i := int(p * float64(total-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	rep := Report{
+		Clients: *clients, Requests: *requests, Total: total, Failed: failed,
+		WallSec:    wall.Seconds(),
+		Throughput: float64(total-failed) / wall.Seconds(),
+		P50Ms:      pct(0.50), P90Ms: pct(0.90), P99Ms: pct(0.99),
+		MaxMs:       float64(latencies[total-1]) / float64(time.Millisecond),
+		Computes:    after.CacheComputes - before.CacheComputes,
+		CacheHits:   after.CacheHits - before.CacheHits,
+		CacheMisses: after.CacheMisses - before.CacheMisses,
+	}
+	if before.Store != nil && after.Store != nil {
+		rep.StoreHits = after.Store.Hits - before.Store.Hits
+	}
+	if lookups := rep.CacheHits + rep.CacheMisses; lookups > 0 {
+		rep.HitRatio = float64(rep.CacheHits+rep.StoreHits) / float64(lookups)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Fprintf(stdout, "fdtload: %d clients x %d requests against %s\n", *clients, *requests, base)
+		fmt.Fprintf(stdout, "  %d jobs in %.2fs (%.1f jobs/s), %d failed\n",
+			total, rep.WallSec, rep.Throughput, failed)
+		fmt.Fprintf(stdout, "  latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
+			rep.P50Ms, rep.P90Ms, rep.P99Ms, rep.MaxMs)
+		fmt.Fprintf(stdout, "  daemon: %d computes, %d cache hits, %d store hits (hit ratio %.2f)\n",
+			rep.Computes, rep.CacheHits, rep.StoreHits, rep.HitRatio)
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// oneJob submits one sweep and polls it to a terminal state.
+func oneJob(base, client string, spec map[string]any) error {
+	body := map[string]any{"client": client}
+	for k, v := range spec {
+		body[k] = v
+	}
+	blob, _ := json.Marshal(body)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("submit: %d %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return err
+	}
+
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + v.ID)
+		if err != nil {
+			return err
+		}
+		var jv struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch jv.Status {
+		case "done":
+			return nil
+		case "failed":
+			return fmt.Errorf("job %s failed: %s", v.ID, jv.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("job %s timed out", v.ID)
+}
+
+func fetchStats(base string) (statsSnap, error) {
+	var st statsSnap
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return st, fmt.Errorf("stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("stats: %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}

@@ -12,6 +12,7 @@
 //	fdtreport -json out/      # also write out/fig2.json, out/fig14.json, ...
 //	fdtreport -parallel 1     # legacy serial execution (0 = GOMAXPROCS)
 //	fdtreport -sampled        # steady-state fast-forward (DESIGN.md Section 11)
+//	fdtreport -cache-dir d/   # back the run cache with fdtd's disk store
 //
 // Independent simulations fan out over a host worker pool and are
 // memoized for the process lifetime, so figures sharing baseline
@@ -58,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csvDir    = fs.String("csv", "", "directory to write per-figure CSV files into")
 		jsonDir   = fs.String("json", "", "directory to write per-experiment JSON files into")
 		parallel  = fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir  = fs.String("cache-dir", "", "disk run-store directory shared with fdtd (warm runs are loaded, new runs persisted)")
 		useSample = fs.Bool("sampled", false, "execute kernels in sampled mode (steady-state fast-forward; see DESIGN.md Section 11)")
 		sampleTol = fs.Float64("sample-tol", 0, "sampled-mode stability tolerance (0 = default)")
 		sampleWin = fs.Int("sample-window", 0, "sampled-mode detailed-window length in iterations (0 = default)")
@@ -79,6 +81,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	runner.SetWorkers(*parallel)
+	if *cacheDir != "" {
+		st, err := core.OpenRunStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "fdtreport:", err)
+			return 1
+		}
+		defer core.DetachRunStore()
+		entries, bytes := st.Len()
+		fmt.Fprintf(stdout, "[run store %s: %d entries ~%.1f KiB]\n\n",
+			st.Dir(), entries, float64(bytes)/1024)
+	}
 	o := experiments.DefaultOptions()
 	if *fast {
 		o.SweepThreads = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32}
@@ -90,52 +103,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		o.Mode.Params = o.Mode.Params.WithDefaults()
 	}
 
-	// Each runner returns the text rendition, the CSV series, and the
-	// experiment's data value for JSON emission (nil for text-only
-	// tables).
-	runners := []struct {
-		name string
-		run  func() (text, csv string, data any)
-	}{
-		{"table1", func() (string, string, any) { return experiments.Table1(o.Cfg), "", nil }},
-		{"table2", func() (string, string, any) { return experiments.Table2(), "", nil }},
-		{"fig2", func() (string, string, any) { f := experiments.RunFig02(o); return f.String(), f.CSV(), f }},
-		{"fig4", func() (string, string, any) { f := experiments.RunFig04(o); return f.String(), f.CSV(), f }},
-		{"fig8", func() (string, string, any) { f := experiments.RunFig08(o); return f.String(), f.CSV(), f }},
-		{"fig9", func() (string, string, any) { f := experiments.RunFig09(o); return f.String(), f.CSV(), f }},
-		{"fig10", func() (string, string, any) { f := experiments.RunFig10(o); return f.String(), f.CSV(), f }},
-		{"fig12", func() (string, string, any) { f := experiments.RunFig12(o); return f.String(), f.CSV(), f }},
-		{"fig13", func() (string, string, any) { f := experiments.RunFig13(o); return f.String(), f.CSV(), f }},
-		{"fig14", func() (string, string, any) { f := experiments.RunFig14(o); return f.String(), f.CSV(), f }},
-		{"fig15", func() (string, string, any) { f := experiments.RunFig15(o); return f.String(), f.CSV(), f }},
-		{"smt", func() (string, string, any) {
-			s := experiments.RunSMT(o)
-			return s.String(), s.CSV(), s
-		}},
-		{"trainingcost", func() (string, string, any) {
-			t := experiments.RunTrainingCost(o)
-			return t.String(), t.CSV(), t
-		}},
-		{"interference", func() (string, string, any) {
-			f, err := runInterference(o, *corunPair, *mapStr)
-			if err != nil {
-				return "interference: " + err.Error(), "", nil
+	// The experiment catalogue is shared with the fdtd daemon
+	// (experiments.Registry), so a figure regenerated here and one
+	// served over HTTP run the same code path and share cache/store
+	// entries. Only the interference entry is overridden, to apply the
+	// CLI-only -corun / -mapping restrictions.
+	runners := experiments.Registry(o)
+	if *corunPair != "" || *mapStr != "" {
+		for i := range runners {
+			if runners[i].Name != "interference" {
+				continue
 			}
-			return f.String(), f.CSV(), f
-		}},
-		{"gauntlet", func() (string, string, any) {
-			g := experiments.RunGauntlet(o)
-			return g.String(), g.CSV(), g
-		}},
-		{"ablations", func() (string, string, any) {
-			as := experiments.RunAblations(o)
-			var texts, csvs []string
-			for _, a := range as {
-				texts = append(texts, a.String())
-				csvs = append(csvs, a.CSV())
+			runners[i].Run = func() (string, string, any) {
+				f, err := runInterference(o, *corunPair, *mapStr)
+				if err != nil {
+					return "interference: " + err.Error(), "", nil
+				}
+				return f.String(), f.CSV(), f
 			}
-			return strings.Join(texts, "\n"), strings.Join(csvs, ""), as
-		}},
+		}
 	}
 
 	for _, dir := range []string{*csvDir, *jsonDir} {
@@ -156,21 +142,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	found := false
 	for _, r := range runners {
-		if want != "" && r.name != want {
+		if want != "" && r.Name != want {
 			continue
 		}
 		found = true
 		start := time.Now()
 		h0, m0 := core.RunCacheStats()
 		_, _, e0 := core.RunCacheUsage()
-		text, csv, data := r.run()
+		text, csv, data := r.Run()
 		h1, m1 := core.RunCacheStats()
 		_, _, e1 := core.RunCacheUsage()
 		fmt.Fprintln(stdout, text)
 		fmt.Fprintf(stdout, "  [%s took %.1fs; run cache: %d hits / %d misses, %d evictions]\n\n",
-			r.name, time.Since(start).Seconds(), h1-h0, m1-m0, e1-e0)
+			r.Name, time.Since(start).Seconds(), h1-h0, m1-m0, e1-e0)
 		if *csvDir != "" && csv != "" {
-			path := filepath.Join(*csvDir, r.name+".csv")
+			path := filepath.Join(*csvDir, r.Name+".csv")
 			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
 				fmt.Fprintln(stderr, "fdtreport:", err)
 				return 1
@@ -179,7 +165,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *jsonDir != "" && data != nil {
 			blob, err := json.MarshalIndent(data, "", "  ")
 			if err == nil {
-				err = os.WriteFile(filepath.Join(*jsonDir, r.name+".json"), append(blob, '\n'), 0o644)
+				err = os.WriteFile(filepath.Join(*jsonDir, r.Name+".json"), append(blob, '\n'), 0o644)
 			}
 			if err != nil {
 				fmt.Fprintln(stderr, "fdtreport:", err)
@@ -200,6 +186,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	entries, bytes, evictions := core.RunCacheUsage()
 	fmt.Fprintf(stdout, "[%d workers; run cache: %d hits / %d misses (%.1f%% hit rate), %d entries ~%.1f KiB, %d evictions]\n",
 		runner.Workers(), hits, misses, rate, entries, float64(bytes)/1024, evictions)
+	if st, ok := core.RunStoreStats(); ok {
+		sEntries, sBytes := core.RunStore().Len()
+		fmt.Fprintf(stdout, "[run store: %d loads / %d saves this run; %d entries ~%.1f KiB on disk]\n",
+			st.Hits, st.Puts, sEntries, float64(sBytes)/1024)
+	}
 	return 0
 }
 

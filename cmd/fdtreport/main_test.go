@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fdt/internal/core"
 )
 
 func TestBadInvocations(t *testing.T) {
@@ -130,5 +133,66 @@ func TestFig2CSVAndJSON(t *testing.T) {
 	}
 	if len(fig.Curve.Points) == 0 {
 		t.Error("fig2.json has no sweep points")
+	}
+}
+
+func TestCacheDirWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	// The run cache is process-global; start from a clean slate so the
+	// cold pass really computes (earlier tests may have warmed it).
+	core.ResetRunCache()
+	t.Cleanup(core.ResetRunCache)
+
+	dir := t.TempDir()
+	storeLine := func(out string) (loads, saves, entries int) {
+		for _, line := range strings.Split(out, "\n") {
+			if n, _ := fmt.Sscanf(line, "[run store: %d loads / %d saves this run; %d entries",
+				&loads, &saves, &entries); n == 3 {
+				return loads, saves, entries
+			}
+		}
+		t.Fatalf("no run-store footer in output:\n%s", out)
+		return 0, 0, 0
+	}
+
+	var cold, errb bytes.Buffer
+	args := []string{"-only", "fig2", "-fast", "-cache-dir", dir}
+	if code := run(args, &cold, &errb); code != 0 {
+		t.Fatalf("cold pass: exit %d, stderr: %s", code, errb.String())
+	}
+	loads, saves, entries := storeLine(cold.String())
+	if loads != 0 || saves == 0 || entries != saves {
+		t.Fatalf("cold pass: loads=%d saves=%d entries=%d, want 0 loads and saves==entries>0",
+			loads, saves, entries)
+	}
+
+	// Simulate a fresh process: drop the in-memory cache, keep the disk
+	// store. The warm pass must be served entirely from disk.
+	core.ResetRunCache()
+	var warm bytes.Buffer
+	errb.Reset()
+	if code := run(args, &warm, &errb); code != 0 {
+		t.Fatalf("warm pass: exit %d, stderr: %s", code, errb.String())
+	}
+	wloads, wsaves, _ := storeLine(warm.String())
+	if wloads != saves || wsaves != 0 {
+		t.Fatalf("warm pass: loads=%d saves=%d, want %d loads and 0 saves", wloads, wsaves, saves)
+	}
+	// The report body must be identical; only the bracketed accounting
+	// lines (store counters, wall-clock timings) legitimately differ
+	// between the passes.
+	strip := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(strings.TrimSpace(line), "[") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(cold.String()) != strip(warm.String()) {
+		t.Error("warm -cache-dir report differs from cold report")
 	}
 }

@@ -12,6 +12,7 @@
 //	fdtsweep -workload ed -json sweep.json   # machine-readable output ("-" = stdout)
 //	fdtsweep -workload ed -sampled           # steady-state fast-forward
 //	fdtsweep -workload ed -sampled -verify   # sampled vs exact error table
+//	fdtsweep -workload ed -cache-dir d/      # back the run cache with fdtd's disk store
 //
 // Sweep points are independent simulations; they fan out over a host
 // worker pool and land in the process-wide run cache.
@@ -31,6 +32,7 @@ import (
 	"strings"
 
 	"fdt/internal/core"
+	"fdt/internal/experiments"
 	"fdt/internal/machine"
 	"fdt/internal/runner"
 	"fdt/internal/stats"
@@ -47,6 +49,7 @@ func main() {
 		bandwidth  = flag.Float64("bandwidth", 1.0, "off-chip bandwidth scale factor")
 		policies   = flag.String("policies", "sat,bat,sat+bat", "feedback policies to place on the curve")
 		parallel   = flag.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		cacheDir   = flag.String("cache-dir", "", "disk run-store directory shared with fdtd (warm runs are loaded, new runs persisted)")
 		jsonPath   = flag.String("json", "", "write the sweep and policy runs as JSON to this file (\"-\" for stdout)")
 		useSample  = flag.Bool("sampled", false, "execute sweep points in sampled mode (steady-state fast-forward)")
 		sampleTol  = flag.Float64("sample-tol", 0, "sampled-mode stability tolerance (0 = default)")
@@ -65,6 +68,12 @@ func main() {
 		os.Exit(2)
 	}
 	runner.SetWorkers(*parallel)
+	if *cacheDir != "" {
+		if _, err := core.OpenRunStore(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+			os.Exit(1)
+		}
+	}
 
 	md := core.ExactMode()
 	if *useSample {
@@ -168,7 +177,7 @@ func main() {
 			r = core.RunHybridKeyed(cfg, info.Name, factory,
 				core.Hybrid{HP: core.HybridParams{ProbeIters: *probeIters, MinGain: *minGain}})
 		default:
-			pol, err := policyByName(pname)
+			pol, err := experiments.PolicyByName(pname)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "fdtsweep:", err)
 				os.Exit(2)
@@ -200,6 +209,9 @@ func main() {
 	}
 	fmt.Printf("# [%d workers; run cache: %d hits / %d misses (%.1f%% hit rate)]\n",
 		runner.Workers(), hits, misses, rate)
+	if st, ok := core.RunStoreStats(); ok {
+		fmt.Printf("# [run store: %d loads / %d saves]\n", st.Hits, st.Puts)
+	}
 }
 
 // runCorunSweep is the -corun mode: instead of the thread dimension,
@@ -366,17 +378,4 @@ func parseThreads(s string, cores int) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
-}
-
-func policyByName(name string) (core.Policy, error) {
-	switch strings.ToLower(name) {
-	case "sat":
-		return core.SAT{}, nil
-	case "bat":
-		return core.BAT{}, nil
-	case "sat+bat", "combined", "fdt":
-		return core.Combined{}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"fdt/internal/core"
 	"fdt/internal/machine"
+	"fdt/internal/runner"
 	"fdt/internal/stats"
 	"fdt/internal/workloads"
 )
@@ -27,6 +28,44 @@ type Options struct {
 	// Mode selects exact or sampled execution for every run the
 	// experiment performs (zero value = exact; see core.Mode).
 	Mode core.Mode
+	// Progress, when non-nil, receives one event per completed
+	// simulated run (sweep points and policy placements). It is the
+	// injection point that decouples experiments from "one process,
+	// one report": cmd/fdtreport leaves it nil and prints summaries,
+	// the fdtd daemon injects a sink that forwards into each job's SSE
+	// stream. Sweep points complete on worker-pool goroutines, so the
+	// sink must be safe for concurrent use; Index orders events.
+	Progress ProgressFunc
+}
+
+// ProgressFunc receives experiment progress events. Implementations
+// must be safe for concurrent use.
+type ProgressFunc func(ProgressEvent)
+
+// ProgressEvent describes one completed simulated run inside an
+// experiment or sweep.
+type ProgressEvent struct {
+	// Workload names the run's workload; Policy its resolved policy
+	// label ("static-7", "SAT+BAT", ...).
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+	// Threads is the static thread count of a sweep point; 0 for
+	// policy placements (the policy chose its own count).
+	Threads int `json:"threads,omitempty"`
+	// Cycles is the run's simulated execution time.
+	Cycles uint64 `json:"cycles"`
+	// Index and Total place the event inside its batch: sweep points
+	// report their position in the sweep, policy placements their
+	// position in the policy list.
+	Index int `json:"index"`
+	Total int `json:"total"`
+}
+
+// emit forwards an event to the configured sink, if any.
+func (o Options) emit(ev ProgressEvent) {
+	if o.Progress != nil {
+		o.Progress(ev)
+	}
 }
 
 // DefaultOptions returns the paper's setup: the Table-1 machine and a
@@ -75,16 +114,19 @@ type Curve struct {
 // runNamed executes (or recalls) a registered workload under a policy
 // through the process-wide run cache, keyed by the workload name.
 func runNamed(o Options, name string, pol core.Policy) core.RunResult {
-	return core.RunPolicyKeyedMode(o.Cfg, name, factory(name), pol, o.Mode)
+	r := core.RunPolicyKeyedMode(o.Cfg, name, factory(name), pol, o.Mode)
+	o.emit(ProgressEvent{Workload: name, Policy: r.Policy, Cycles: r.TotalCycles, Total: 1})
+	return r
 }
 
 // sweep produces a Curve for a workload. Sweep points are simulated in
 // parallel and memoized under the workload name, so figures sharing a
 // baseline (Fig 8's panels reappear inside Fig 15's oracle) simulate
-// each point once per process.
+// each point once per process. Each completed point is reported to the
+// Options' progress sink from its worker goroutine.
 func sweep(o Options, name string) Curve {
 	ts := o.threads()
-	runs := core.SweepKeyedMode(o.Cfg, name, factory(name), ts, o.Mode)
+	runs := sweepRuns(o, name, ts)
 	base := runs[0].TotalCycles
 	c := Curve{Workload: name}
 	times := make([]uint64, len(runs))
@@ -102,6 +144,22 @@ func sweep(o Options, name string) Curve {
 	c.MinThreads = ts[idx]
 	c.MinCycles = minCycles
 	return c
+}
+
+// sweepRuns is core.SweepKeyedMode with per-point progress reporting:
+// identical scheduling (runner worker pool), identical results,
+// identical cache keys.
+func sweepRuns(o Options, name string, ts []int) []core.RunResult {
+	f := factory(name)
+	out := make([]core.RunResult, len(ts))
+	runner.Map(len(ts), func(i int) {
+		out[i] = core.RunPolicyKeyedMode(o.Cfg, name, f, core.Static{N: ts[i]}, o.Mode)
+		o.emit(ProgressEvent{
+			Workload: name, Policy: out[i].Policy, Threads: ts[i],
+			Cycles: out[i].TotalCycles, Index: i, Total: len(ts),
+		})
+	})
+	return out
 }
 
 // PolicyPoint is where a feedback policy lands on a curve.

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fdt/internal/core"
+	"fdt/internal/stats"
+	"fdt/internal/workloads"
+)
+
+// SweepJobResult is the structured outcome of one sweep job: the
+// full RunResult of every sweep point and policy placement, in the
+// same shape fdtsweep's -json emits. The fdtd daemon marshals it as a
+// job's result payload; because every RunResult either came from the
+// simulator or JSON-round-tripped through the disk store, the payload
+// is byte-stable across daemon restarts.
+type SweepJobResult struct {
+	Workload   string           `json:"workload"`
+	Cores      int              `json:"cores"`
+	Threads    []int            `json:"threads"`
+	Sweep      []core.RunResult `json:"sweep,omitempty"`
+	MinThreads int              `json:"min_threads,omitempty"`
+	Policies   []core.RunResult `json:"policies,omitempty"`
+}
+
+// RunSweepJob sweeps a workload across static thread counts and then
+// places the named policies, all through the process-wide run cache —
+// the daemon-facing twin of the fdtsweep CLI path. counts may be
+// empty when policies are given (policy placements only). Progress
+// events flow to o.Progress: one per sweep point (with Threads set)
+// and one per policy placement.
+func RunSweepJob(o Options, workload string, counts []int, policies []string) (SweepJobResult, error) {
+	info, ok := workloads.ByName(workload)
+	if !ok {
+		return SweepJobResult{}, fmt.Errorf("unknown workload %q", workload)
+	}
+	if len(counts) == 0 && len(policies) == 0 {
+		return SweepJobResult{}, fmt.Errorf("empty job: no thread counts and no policies")
+	}
+	cores := o.Cfg.Mem.Cores
+	for _, n := range counts {
+		if n < 1 {
+			return SweepJobResult{}, fmt.Errorf("bad thread count %d", n)
+		}
+	}
+
+	res := SweepJobResult{
+		Workload: info.Name,
+		Cores:    cores,
+		Threads:  counts,
+	}
+	if len(counts) > 0 {
+		res.Sweep = sweepRuns(o, info.Name, counts)
+		times := make([]uint64, len(res.Sweep))
+		for i, r := range res.Sweep {
+			times[i] = r.TotalCycles
+		}
+		idx, _ := stats.ArgMinUint(times)
+		res.MinThreads = counts[idx]
+	}
+	for i, pname := range policies {
+		r, err := runPolicyJob(o, info.Name, pname)
+		if err != nil {
+			return SweepJobResult{}, err
+		}
+		o.emit(ProgressEvent{
+			Workload: info.Name, Policy: r.Policy, Cycles: r.TotalCycles,
+			Index: i, Total: len(policies),
+		})
+		res.Policies = append(res.Policies, r)
+	}
+	return res, nil
+}
+
+// runPolicyJob resolves one policy name and executes it through the
+// matching keyed (cached) runner. Measurement-driven controllers
+// (adaptive, hillclimb, hybrid) have dedicated cache entry points;
+// hill-climbing and the hybrid always run exact because their probes
+// time real chunks.
+func runPolicyJob(o Options, workload, pname string) (core.RunResult, error) {
+	f := factory(workload)
+	switch strings.ToLower(strings.TrimSpace(pname)) {
+	case "adaptive":
+		return core.RunAdaptiveKeyedMode(o.Cfg, workload, f, core.Combined{},
+			core.DefaultMonitorParams(), o.Mode), nil
+	case "hillclimb", "hill-climb":
+		return core.RunHillClimbKeyed(o.Cfg, workload, f, core.HillClimb{}), nil
+	case "hybrid":
+		return core.RunHybridKeyed(o.Cfg, workload, f, core.Hybrid{}), nil
+	default:
+		pol, err := PolicyByName(pname)
+		if err != nil {
+			return core.RunResult{}, err
+		}
+		return core.RunPolicyKeyedMode(o.Cfg, workload, f, pol, o.Mode), nil
+	}
+}
+
+// PolicyByName resolves a model-driven policy label: "sat", "bat",
+// "sat+bat" (aliases "combined", "fdt"), "serial", or "static:N".
+// Measurement-driven labels (adaptive, hillclimb, hybrid) are not
+// Policies — they own their controllers — and are rejected here;
+// RunSweepJob routes them to their dedicated runners.
+func PolicyByName(name string) (core.Policy, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	switch n {
+	case "sat":
+		return core.SAT{}, nil
+	case "bat":
+		return core.BAT{}, nil
+	case "sat+bat", "combined", "fdt":
+		return core.Combined{}, nil
+	case "serial":
+		return core.Static{N: 1}, nil
+	}
+	if rest, ok := strings.CutPrefix(n, "static:"); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad static policy %q (want static:N, N >= 1)", name)
+		}
+		return core.Static{N: k}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q", name)
+}
+
+// ValidPolicyName reports whether RunSweepJob can execute the label,
+// including the measurement-driven controllers PolicyByName rejects.
+func ValidPolicyName(name string) bool {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "adaptive", "hillclimb", "hill-climb", "hybrid":
+		return true
+	}
+	_, err := PolicyByName(name)
+	return err == nil
+}

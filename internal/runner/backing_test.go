@@ -1,0 +1,173 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// mapBacking is an in-memory stand-in for the disk store, with
+// counters to observe the cache's load/save discipline.
+type mapBacking struct {
+	mu    sync.Mutex
+	m     map[string]int
+	loads atomic.Int64
+	saves atomic.Int64
+}
+
+func newMapBacking() *mapBacking { return &mapBacking{m: map[string]int{}} }
+
+func (b *mapBacking) load(key string) (int, bool) {
+	b.loads.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.m[key]
+	return v, ok
+}
+
+func (b *mapBacking) save(key string, v int) {
+	b.saves.Add(1)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[key] = v
+}
+
+func TestBackingWriteThroughAndReload(t *testing.T) {
+	var c Cache[int]
+	b := newMapBacking()
+	c.SetBacking(b.load, b.save)
+
+	computes := 0
+	v := c.Do("k", func() int { computes++; return 42 })
+	if v != 42 || computes != 1 {
+		t.Fatalf("first Do = %d (computes %d), want 42 computed once", v, computes)
+	}
+	if b.saves.Load() != 1 || b.m["k"] != 42 {
+		t.Fatalf("computed value not written through: saves=%d m=%v", b.saves.Load(), b.m)
+	}
+
+	// In-memory hit: no load, no compute.
+	v = c.Do("k", func() int { computes++; return -1 })
+	if v != 42 || computes != 1 || b.loads.Load() != 1 {
+		t.Fatalf("memory hit recomputed or reloaded: v=%d computes=%d loads=%d", v, computes, b.loads.Load())
+	}
+
+	// Drop the memory copy: the next Do must reload from the backing,
+	// not recompute.
+	c.Reset()
+	v = c.Do("k", func() int { computes++; return -1 })
+	if v != 42 || computes != 1 {
+		t.Fatalf("backing reload failed: v=%d computes=%d", v, computes)
+	}
+	if c.Computes() != 0 || c.BackingHits() != 1 {
+		t.Fatalf("counters after reload: computes=%d backingHits=%d, want 0/1", c.Computes(), c.BackingHits())
+	}
+}
+
+func TestBackingEvictionReloadsNotRecomputes(t *testing.T) {
+	var c Cache[int]
+	b := newMapBacking()
+	c.SetBacking(b.load, b.save)
+	c.SetLimit(1)
+
+	c.Do("a", func() int { return 1 })
+	c.Do("b", func() int { return 2 }) // evicts a
+	if c.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Evictions())
+	}
+	v := c.Do("a", func() int { return -1 })
+	if v != 1 {
+		t.Fatalf("evicted key reloaded %d, want 1", v)
+	}
+	if c.Computes() != 2 || c.BackingHits() != 1 {
+		t.Fatalf("computes=%d backingHits=%d, want 2/1", c.Computes(), c.BackingHits())
+	}
+}
+
+// Single-flight must hold with a backing attached: N concurrent Dos of
+// one cold key perform exactly one load and one compute.
+func TestBackingSingleFlight(t *testing.T) {
+	var c Cache[int]
+	b := newMapBacking()
+	c.SetBacking(b.load, b.save)
+
+	const goroutines = 32
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			results[g] = c.Do("hot", func() int {
+				computes.Add(1)
+				return 7
+			})
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	for g, v := range results {
+		if v != 7 {
+			t.Fatalf("goroutine %d got %d", g, v)
+		}
+	}
+	if computes.Load() != 1 || b.loads.Load() != 1 || b.saves.Load() != 1 {
+		t.Fatalf("computes=%d loads=%d saves=%d, want 1/1/1",
+			computes.Load(), b.loads.Load(), b.saves.Load())
+	}
+}
+
+// Warm backing, many distinct keys, many goroutines: zero computes.
+func TestBackingWarmConcurrent(t *testing.T) {
+	b := newMapBacking()
+	const keys = 16
+	for i := 0; i < keys; i++ {
+		b.m[fmt.Sprintf("k%d", i)] = i
+	}
+	var c Cache[int]
+	c.SetBacking(b.load, b.save)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				key := fmt.Sprintf("k%d", i)
+				if v := c.Do(key, func() int { return -1 }); v != i {
+					t.Errorf("Do(%s) = %d, want %d", key, v, i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Computes() != 0 || c.BackingHits() != keys {
+		t.Fatalf("computes=%d backingHits=%d, want 0/%d", c.Computes(), c.BackingHits(), keys)
+	}
+	if b.saves.Load() != 0 {
+		t.Fatalf("saves = %d on a fully warm backing", b.saves.Load())
+	}
+}
+
+// Detaching the backing mid-life must leave the cache a plain
+// memoizer again.
+func TestBackingDetach(t *testing.T) {
+	var c Cache[int]
+	b := newMapBacking()
+	c.SetBacking(b.load, b.save)
+	c.Do("k", func() int { return 1 })
+	c.SetBacking(nil, nil)
+	c.Reset()
+	v := c.Do("k", func() int { return 9 })
+	if v != 9 {
+		t.Fatalf("detached cache served %d from dead backing", v)
+	}
+	if b.loads.Load() != 1 {
+		t.Fatalf("backing consulted after detach: loads=%d", b.loads.Load())
+	}
+}

@@ -16,6 +16,13 @@ import (
 // evicted, so a long sweep over many configurations runs in bounded
 // memory at the cost of recomputing whatever it revisits.
 //
+// A second, durable level can be attached with SetBacking: on a map
+// miss the cache consults the backing before computing, and writes
+// every freshly computed value through. Eviction only ever drops the
+// in-memory copy — an evicted key reloads from the backing instead of
+// recomputing — so SetLimit/Bytes/Evictions remain the sole bounded-
+// memory mechanism while the backing provides persistence.
+//
 // The zero value is ready to use.
 type Cache[V any] struct {
 	mu      sync.Mutex
@@ -25,10 +32,14 @@ type Cache[V any] struct {
 	limit int
 	sizer func(V) uint64
 	bytes uint64
+	load  func(key string) (V, bool)
+	save  func(key string, v V)
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	computes    atomic.Uint64
+	backingHits atomic.Uint64
 }
 
 type cacheEntry[V any] struct {
@@ -60,10 +71,23 @@ func (c *Cache[V]) SetSizer(f func(V) uint64) {
 	c.sizer = f
 }
 
+// SetBacking attaches (or, with nil funcs, detaches) a second-level
+// load/save pair — typically a disk store. load is consulted on every
+// map miss before fn runs; save receives every value fn computes.
+// Both run outside the cache lock and must be safe for concurrent
+// use; single-flight already guarantees at most one load or save per
+// key is in flight at a time.
+func (c *Cache[V]) SetBacking(load func(key string) (V, bool), save func(key string, v V)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.load, c.save = load, save
+}
+
 // Do returns the cached value for key, computing it with fn on the
 // first request. Concurrent requests for an in-flight key wait for
 // the single computation and count as hits. A re-request for an
-// evicted key recomputes (and counts as a miss).
+// evicted key recomputes (and counts as a miss) — unless a backing is
+// attached and still holds it, in which case it reloads.
 func (c *Cache[V]) Do(key string, fn func() V) V {
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -82,7 +106,24 @@ func (c *Cache[V]) Do(key string, fn func() V) V {
 		c.misses.Add(1)
 	}
 	e.once.Do(func() {
-		e.val = fn()
+		c.mu.Lock()
+		load, save := c.load, c.save
+		c.mu.Unlock()
+		loaded := false
+		if load != nil {
+			if v, ok := load(key); ok {
+				e.val = v
+				loaded = true
+				c.backingHits.Add(1)
+			}
+		}
+		if !loaded {
+			e.val = fn()
+			c.computes.Add(1)
+			if save != nil {
+				save(key, e.val)
+			}
+		}
 		c.mu.Lock()
 		if c.sizer != nil {
 			e.bytes = c.sizer(e.val)
@@ -156,8 +197,17 @@ func (c *Cache[V]) Bytes() uint64 {
 // Evictions reports how many entries the limit has pushed out.
 func (c *Cache[V]) Evictions() uint64 { return c.evictions.Load() }
 
-// Reset drops every entry and zeroes the statistics (the limit and
-// sizer persist).
+// Computes reports how many times Do actually ran its compute
+// function; misses satisfied by the backing do not count. When no
+// backing is attached, Computes equals the miss count.
+func (c *Cache[V]) Computes() uint64 { return c.computes.Load() }
+
+// BackingHits reports how many map misses the attached backing
+// satisfied without recomputation.
+func (c *Cache[V]) BackingHits() uint64 { return c.backingHits.Load() }
+
+// Reset drops every entry and zeroes the statistics (the limit,
+// sizer, and backing persist).
 func (c *Cache[V]) Reset() {
 	c.mu.Lock()
 	c.entries = nil
@@ -167,4 +217,6 @@ func (c *Cache[V]) Reset() {
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
+	c.computes.Store(0)
+	c.backingHits.Store(0)
 }

@@ -1,0 +1,114 @@
+// Package service is the simulation-as-a-service layer: a job model,
+// a bounded admission queue with per-client fairness, a dispatcher
+// that executes jobs through internal/experiments (and therefore
+// through internal/runner's single-flight run cache and any attached
+// disk store), and an HTTP/JSON front end with SSE progress
+// streaming. cmd/fdtd wraps it in a daemon.
+package service
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull rejects a submission that would exceed the queue's
+// bound. Admission control is explicit back-pressure: the HTTP layer
+// maps it to 429 so clients retry with delay instead of piling jobs
+// onto an overloaded daemon.
+var ErrQueueFull = errors.New("service: admission queue full")
+
+// ErrQueueClosed rejects submissions after drain has begun.
+var ErrQueueClosed = errors.New("service: queue closed (draining)")
+
+// queue is a bounded multi-client FIFO with round-robin fairness:
+// jobs are queued per client and dequeued one client at a time in
+// rotation, so a client that floods the queue cannot starve another
+// client's single job — B's first job is served after at most one job
+// from every other active client, regardless of how many jobs A has
+// ahead of it in arrival order.
+//
+// The capacity bound is global (total queued jobs across clients);
+// fairness governs ordering, admission governs volume.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cap    int
+	n      int
+	closed bool
+	// perClient holds each client's FIFO backlog; ring rotates the
+	// client names that currently have backlog.
+	perClient map[string][]*Job
+	ring      []string
+	next      int
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{cap: capacity, perClient: map[string][]*Job{}}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits a job under its spec's client, or rejects it.
+func (q *queue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.cap > 0 && q.n >= q.cap {
+		return ErrQueueFull
+	}
+	client := j.Spec.Client
+	if len(q.perClient[client]) == 0 {
+		q.ring = append(q.ring, client)
+	}
+	q.perClient[client] = append(q.perClient[client], j)
+	q.n++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available and returns it, rotating across
+// clients. After close it drains the backlog, then reports ok=false.
+func (q *queue) pop() (j *Job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	client := q.ring[q.next]
+	fifo := q.perClient[client]
+	j, fifo = fifo[0], fifo[1:]
+	q.n--
+	if len(fifo) == 0 {
+		delete(q.perClient, client)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		// q.next now already points at the following client.
+	} else {
+		q.perClient[client] = fifo
+		q.next++
+	}
+	return j, true
+}
+
+// close stops admission; waiting pops drain the backlog then return
+// ok=false. Idempotent.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// depth reports the queued-job count.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}

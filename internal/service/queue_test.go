@@ -1,0 +1,161 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func qjob(client string, n int) *Job {
+	return newJob(fmt.Sprintf("%s-%d", client, n), Spec{Client: client})
+}
+
+// A flooding client must not starve another client's single job:
+// round-robin serves B's first job second, not eleventh.
+func TestQueueFairness(t *testing.T) {
+	q := newQueue(0)
+	for i := 0; i < 10; i++ {
+		if err := q.push(qjob("flood", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.push(qjob("small", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qjob("small", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	for i := 0; i < 12; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue closed early", i)
+		}
+		order = append(order, j.ID)
+	}
+	// Interleave while both clients have backlog, then flood drains.
+	want := []string{
+		"flood-0", "small-0", "flood-1", "small-1",
+		"flood-2", "flood-3", "flood-4", "flood-5",
+		"flood-6", "flood-7", "flood-8", "flood-9",
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Per-client FIFO order must hold inside each client's backlog even
+// as the ring rotates across three clients.
+func TestQueuePerClientFIFO(t *testing.T) {
+	q := newQueue(0)
+	for i := 0; i < 4; i++ {
+		for _, c := range []string{"a", "b", "c"} {
+			if err := q.push(qjob(c, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seen := map[string]int{}
+	for i := 0; i < 12; i++ {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		var n int
+		fmt.Sscanf(j.ID, j.Spec.Client+"-%d", &n)
+		if n != seen[j.Spec.Client] {
+			t.Fatalf("client %s served out of order: got %d, want %d",
+				j.Spec.Client, n, seen[j.Spec.Client])
+		}
+		seen[j.Spec.Client]++
+	}
+}
+
+func TestQueueBoundedAdmission(t *testing.T) {
+	q := newQueue(3)
+	for i := 0; i < 3; i++ {
+		if err := q.push(qjob("c", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.push(qjob("c", 3)); err != ErrQueueFull {
+		t.Fatalf("push over cap = %v, want ErrQueueFull", err)
+	}
+	// Popping one frees one admission slot.
+	if _, ok := q.pop(); !ok {
+		t.Fatal("pop failed")
+	}
+	if err := q.push(qjob("c", 4)); err != nil {
+		t.Fatalf("push after pop = %v, want nil", err)
+	}
+}
+
+// close drains the backlog before reporting closed, and rejects new
+// pushes immediately.
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue(0)
+	q.push(qjob("c", 0))
+	q.push(qjob("c", 1))
+	q.close()
+	if err := q.push(qjob("c", 2)); err != ErrQueueClosed {
+		t.Fatalf("push after close = %v, want ErrQueueClosed", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := q.pop(); !ok {
+			t.Fatalf("pop %d: backlog not drained", i)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop after drain reported a job")
+	}
+}
+
+// Concurrent producers and consumers: every pushed job is popped
+// exactly once, blocked pops wake on close. Run under -race this is
+// the admission-queue half of the PR's race gauntlet.
+func TestQueueConcurrent(t *testing.T) {
+	q := newQueue(0)
+	const producers, perProducer, consumers = 8, 50, 4
+
+	var popped sync.Map
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		consumed.Add(1)
+		go func() {
+			defer consumed.Done()
+			for {
+				j, ok := q.pop()
+				if !ok {
+					return
+				}
+				if _, dup := popped.LoadOrStore(j.ID, true); dup {
+					t.Errorf("job %s popped twice", j.ID)
+				}
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.push(qjob(fmt.Sprintf("p%d", p), i)); err != nil {
+					t.Errorf("push: %v", err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	q.close()
+	consumed.Wait()
+
+	n := 0
+	popped.Range(func(_, _ any) bool { n++; return true })
+	if n != producers*perProducer {
+		t.Fatalf("popped %d jobs, want %d", n, producers*perProducer)
+	}
+}

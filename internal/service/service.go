@@ -1,0 +1,245 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fdt/internal/core"
+	"fdt/internal/experiments"
+	"fdt/internal/runner"
+	"fdt/internal/store"
+)
+
+// ErrDraining rejects submissions once shutdown has begun.
+var ErrDraining = errors.New("service: draining")
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (default 2).
+	// Each job may itself fan sweep points out over the runner pool;
+	// identical in-flight runs across jobs collapse into one
+	// simulation via the run cache's single-flight keys.
+	Workers int
+	// QueueCap bounds the admission queue (default 64, <0 unbounded).
+	QueueCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.QueueCap < 0 {
+		c.QueueCap = 0 // queue treats 0 as unbounded
+	}
+	return c
+}
+
+// Service owns the job registry, the admission queue, and the worker
+// pool that dispatches jobs through the experiments layer.
+type Service struct {
+	cfg Config
+	q   *queue
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID uint64
+
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	done   atomic.Uint64
+	failed atomic.Uint64
+}
+
+// New starts a service with cfg.Workers dispatcher goroutines.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{cfg: cfg, q: newQueue(cfg.QueueCap), jobs: map[string]*Job{}}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j, ok := s.q.pop()
+				if !ok {
+					return
+				}
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit validates, registers, and enqueues a job. The returned job is
+// live: poll Snapshot or Subscribe to its stream.
+func (s *Service) Submit(spec Spec) (*Job, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	j := newJob(id, spec)
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.q.push(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Job looks a registered job up by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runJob executes one job and publishes its lifecycle.
+func (s *Service) runJob(j *Job) {
+	j.start()
+	o := j.Spec.options()
+	o.Progress = func(ev experiments.ProgressEvent) {
+		j.publish(Event{
+			Type: "point", Job: j.ID,
+			Workload: ev.Workload, Policy: ev.Policy, Threads: ev.Threads,
+			Cycles: ev.Cycles, Index: ev.Index, Total: ev.Total,
+		})
+	}
+
+	result, err := s.execute(j, o)
+	var blob json.RawMessage
+	if err == nil {
+		blob, err = json.Marshal(result)
+	}
+	j.finish(blob, err)
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.done.Add(1)
+	}
+}
+
+// execute runs the job body (panics from the simulator surface as
+// job failures, not daemon crashes).
+func (s *Service) execute(j *Job, o experiments.Options) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	switch j.Spec.Kind {
+	case KindSweep:
+		return experiments.RunSweepJob(o, j.Spec.Workload, j.Spec.Threads, j.Spec.Policies)
+	case KindExperiment:
+		entry, ok := experiments.LookupExperiment(o, j.Spec.Experiment)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", j.Spec.Experiment)
+		}
+		text, csv, data := entry.Run()
+		return map[string]any{
+			"experiment": entry.Name,
+			"text":       text,
+			"csv":        csv,
+			"data":       data,
+		}, nil
+	default:
+		return nil, fmt.Errorf("bad kind %q", j.Spec.Kind)
+	}
+}
+
+// Drain stops admission, lets the queue empty, and waits for every
+// worker to finish its current job (or ctx to expire). Safe to call
+// more than once.
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.close()
+	doneCh := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Stats is the /v1/stats payload: queue and job counters plus the
+// full cache/store picture, the observability the load generator uses
+// to compute cold-vs-warm ratios.
+type Stats struct {
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_cap"`
+	Queued   int `json:"queued"`
+	// Jobs* count terminal jobs since process start.
+	JobsDone   uint64 `json:"jobs_done"`
+	JobsFailed uint64 `json:"jobs_failed"`
+	Draining   bool   `json:"draining"`
+
+	// In-memory run cache (process lifetime).
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheComputes  uint64 `json:"cache_computes"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheBytes     uint64 `json:"cache_bytes"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// Disk store (nil-safe zeros when no store is attached).
+	StoreAttached bool         `json:"store_attached"`
+	StoreDir      string       `json:"store_dir,omitempty"`
+	Store         *store.Stats `json:"store,omitempty"`
+	StoreEntries  int          `json:"store_entries,omitempty"`
+	StoreBytes    int64        `json:"store_bytes,omitempty"`
+
+	RunnerWorkers int `json:"runner_workers"`
+}
+
+// Stats snapshots the service and cache counters.
+func (s *Service) Stats() Stats {
+	hits, misses := core.RunCacheStats()
+	entries, bytes, evictions := core.RunCacheUsage()
+	st := Stats{
+		Workers:        s.cfg.Workers,
+		QueueCap:       s.cfg.QueueCap,
+		Queued:         s.q.depth(),
+		JobsDone:       s.done.Load(),
+		JobsFailed:     s.failed.Load(),
+		Draining:       s.draining.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheComputes:  core.RunCacheComputes(),
+		CacheEntries:   entries,
+		CacheBytes:     bytes,
+		CacheEvictions: evictions,
+		RunnerWorkers:  runner.Workers(),
+	}
+	if rs := core.RunStore(); rs != nil {
+		st.StoreAttached = true
+		st.StoreDir = rs.Dir()
+		stats := rs.Stats()
+		st.Store = &stats
+		st.StoreEntries, st.StoreBytes = rs.Len()
+	}
+	return st
+}
