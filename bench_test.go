@@ -193,6 +193,33 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// BenchmarkSimulatorThroughputDVFS is BenchmarkSimulatorThroughput
+// on the laddered machine: the per-core P-state meter tracks
+// residencies and the controller runs the (threads, frequency)
+// co-search under a budget. Compare events/sec against the flat
+// benchmark to read the DVFS accounting overhead; the flat-ladder
+// path itself is held to the <=2% regression budget in
+// BENCH_PR10.json because the trivial ladder skips all of this.
+func BenchmarkSimulatorThroughputDVFS(b *testing.B) {
+	cfg := machine.DefaultConfig().WithFreq(machine.DefaultLadder())
+	info, _ := workloads.ByName("ed")
+	pp := core.PowerParams{Budget: 12, LockState: -1}
+	var events uint64
+	var energy float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := machine.MustNew(cfg)
+		ctl := core.NewController(core.Combined{})
+		ctl.Power = &pp
+		res := ctl.Run(m, info.Factory(m))
+		events += m.Eng.Events()
+		energy = res.Energy.Total
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(energy, "energy/op")
+}
+
 // BenchmarkSimulatorThroughputSampled is BenchmarkSimulatorThroughput
 // in sampled execution mode (DESIGN.md Section 11): steady-state
 // regions fast-forward analytically instead of simulating every

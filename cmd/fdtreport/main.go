@@ -63,10 +63,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		useSample = fs.Bool("sampled", false, "execute kernels in sampled mode (steady-state fast-forward; see DESIGN.md Section 11)")
 		sampleTol = fs.Float64("sample-tol", 0, "sampled-mode stability tolerance (0 = default)")
 		sampleWin = fs.Int("sample-window", 0, "sampled-mode detailed-window length in iterations (0 = default)")
+		budget    = fs.Float64("power-budget", 0, "average-chip-power cap in nominal-active-core units (0 = unconstrained; implies -freq-ladder default)")
+		ladderStr = fs.String("freq-ladder", "", "P-state ladder: \"default\" or comma-separated MHz values, nominal first (empty = single-frequency machine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ladder, err := machine.ResolveDVFS(*budget, *ladderStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "fdtreport:", err)
+		return 2
+	}
+	dvfs := *budget > 0 || !ladder.Trivial()
 	if *corunPair != "" {
 		if _, _, err := workloads.ParsePair(*corunPair); err != nil {
 			fmt.Fprintln(stderr, "fdtreport:", err)
@@ -95,6 +103,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o := experiments.DefaultOptions()
 	if *fast {
 		o.SweepThreads = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32}
+	}
+	if dvfs {
+		// The ladder and budget flow to every model-driven experiment
+		// via Options.Power; measurement-driven runners (hill-climbing,
+		// hybrid probes) and the co-run family execute the ladder at
+		// nominal frequency and simply gain energy accounting. The
+		// pareto family pins its own ladder/budget grid regardless.
+		o.Cfg = o.Cfg.WithFreq(ladder)
+		pp := core.PowerParams{Budget: *budget, LockState: -1}
+		o.Power = &pp
 	}
 	if *useSample {
 		o.Mode = core.SampledMode()
@@ -186,6 +204,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	entries, bytes, evictions := core.RunCacheUsage()
 	fmt.Fprintf(stdout, "[%d workers; run cache: %d hits / %d misses (%.1f%% hit rate), %d entries ~%.1f KiB, %d evictions]\n",
 		runner.Workers(), hits, misses, rate, entries, float64(bytes)/1024, evictions)
+	fmt.Fprintf(stdout, "[simulated energy: %.4g core-cycle units across all uncached runs]\n", core.SimEnergyTotal())
 	if st, ok := core.RunStoreStats(); ok {
 		sEntries, sBytes := core.RunStore().Len()
 		fmt.Fprintf(stdout, "[run store: %d loads / %d saves this run; %d entries ~%.1f KiB on disk]\n",

@@ -19,6 +19,9 @@ func TestBadInvocations(t *testing.T) {
 		{"-corun", "nosuch+mg"},
 		{"-corun", "pagemine"},
 		{"-mapping", "nosuch"},
+		{"-power-budget", "-1"},
+		{"-freq-ladder", "notanumber"},
+		{"-freq-ladder", "800,1600"}, // must be strictly descending
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer

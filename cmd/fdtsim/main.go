@@ -63,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sampleWin  = fs.Int("sample-window", 0, "sampled-mode detailed-window length in iterations (0 = default)")
 		probeIters = fs.Int("probe-iters", 0, "probe chunk length in iterations for -policy hillclimb/hybrid (0 = default)")
 		minGain    = fs.Float64("min-gain", 0, "fractional speedup a probed size needs to win, for -policy hillclimb/hybrid (0 = default)")
+		budget     = fs.Float64("power-budget", 0, "average-chip-power cap in nominal-active-core units (0 = unconstrained; implies -freq-ladder default)")
+		ladderStr  = fs.String("freq-ladder", "", "P-state ladder: \"default\" or comma-separated MHz values, nominal first (empty = single-frequency machine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,6 +77,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fdtsim: -min-gain %g, want in [0, 1)\n", *minGain)
 		return 2
 	}
+	ladder, err := machine.ResolveDVFS(*budget, *ladderStr)
+	if err != nil {
+		fmt.Fprintln(stderr, "fdtsim:", err)
+		return 2
+	}
+	dvfs := *budget > 0 || !ladder.Trivial()
 
 	if *list {
 		printList(stdout)
@@ -105,6 +113,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	if dvfs && (hillClimb || hybrid) {
+		fmt.Fprintf(stderr, "fdtsim: -policy %s does not support -power-budget/-freq-ladder (its probes time real chunks at nominal frequency)\n", *policy)
+		return 2
+	}
 
 	// Invariant accounting, tracing and hill-climb probing all need
 	// every cycle simulated; they win over -sampled.
@@ -127,7 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
+	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth).WithFreq(ladder)
 	m := machine.MustNew(cfg)
 	var samples *machine.SampleLog
 	if *sparkline {
@@ -149,11 +161,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "fdtsim: -policy %s does not support -corun (its probes own the whole machine)\n", *policy)
 			return 2
 		}
+		if dvfs {
+			fmt.Fprintln(stderr, "fdtsim: -corun does not support -power-budget/-freq-ladder (per-team power attribution is not modeled)")
+			return 2
+		}
 		return runCorun(m, *corun, *mapping, pol, md, *verify, *dumpCtrs, ck, samples, stdout, stderr)
 	}
 
 	hc := core.HillClimb{ProbeIters: *probeIters, MinGain: *minGain}
 	hy := core.Hybrid{HP: core.HybridParams{ProbeIters: *probeIters, MinGain: *minGain}}
+	pp := core.PowerParams{Budget: *budget, LockState: -1}
 	// Instrumented runs (sparklines, tracing, invariants, counter dumps)
 	// need the machine built here, with the observers attached; plain
 	// runs route through the keyed run cache so repeated invocations in
@@ -171,6 +188,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		default:
 			ctl := core.NewController(pol)
 			ctl.Mode = md
+			if dvfs {
+				ctl.Power = &pp
+			}
 			res = ctl.Run(m, w)
 		}
 	} else {
@@ -183,6 +203,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res = core.RunHillClimbKeyed(cfg, info.Name, f, hc)
 		case hybrid:
 			res = core.RunHybridKeyed(cfg, info.Name, f, hy)
+		case dvfs:
+			res = core.RunPolicyBudgetKeyedMode(cfg, info.Name, f, pol, pp, md)
 		default:
 			res = core.RunPolicyKeyedMode(cfg, info.Name, f, pol, md)
 		}
@@ -190,16 +212,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "workload   %s (%s)\n", res.Workload, info.Class)
 	fmt.Fprintf(stdout, "policy     %s\n", res.Policy)
-	fmt.Fprintf(stdout, "machine    %d cores, %.2gx bandwidth\n", *cores, *bandwidth)
+	if dvfs {
+		names := make([]string, len(ladder.States))
+		for i, s := range ladder.States {
+			names[i] = s.Name
+		}
+		budgetStr := "unconstrained"
+		if *budget > 0 {
+			budgetStr = fmt.Sprintf("%.2f", *budget)
+		}
+		fmt.Fprintf(stdout, "machine    %d cores, %.2gx bandwidth, ladder %s, budget %s\n",
+			*cores, *bandwidth, strings.Join(names, ">"), budgetStr)
+	} else {
+		fmt.Fprintf(stdout, "machine    %d cores, %.2gx bandwidth\n", *cores, *bandwidth)
+	}
 	fmt.Fprintf(stdout, "exec time  %d cycles\n", res.TotalCycles)
 	fmt.Fprintf(stdout, "power      %.2f avg active cores\n", res.AvgActiveCores)
+	if e := res.Energy; e != nil {
+		fmt.Fprintf(stdout, "energy     %.0f core-cycles (%.2f avg chip power, table-driven)\n", e.Total, e.AvgPower)
+	}
 	fmt.Fprintf(stdout, "bus busy   %d cycles (%.1f%% of run)\n",
 		res.BusBusyCycles, 100*float64(res.BusBusyCycles)/float64(res.TotalCycles))
 	fmt.Fprintf(stdout, "avgthreads %.1f\n", res.AvgThreads())
 	for _, k := range res.Kernels {
 		d := k.Decision
-		fmt.Fprintf(stdout, "kernel %-22s threads=%-3d pcs=%-3d pbw=%-3d csfrac=%.3f%% bu1=%.2f%% train=%d iters (%d cyc) total=%d cyc\n",
-			k.Kernel, d.Threads, d.PCS, d.PBW, 100*d.CSFraction, 100*d.BusUtil1, k.TrainIters, k.TrainCycles, k.Cycles)
+		freq := ""
+		if d.Freq != "" {
+			freq = " freq=" + d.Freq
+		}
+		fmt.Fprintf(stdout, "kernel %-22s threads=%-3d%s pcs=%-3d pbw=%-3d csfrac=%.3f%% bu1=%.2f%% train=%d iters (%d cyc) total=%d cyc\n",
+			k.Kernel, d.Threads, freq, d.PCS, d.PBW, 100*d.CSFraction, 100*d.BusUtil1, k.TrainIters, k.TrainCycles, k.Cycles)
 	}
 	if s := res.Sampled; s != nil {
 		fmt.Fprintf(stdout, "sampled    %d detailed + %d skipped iters (%.1f%% skipped), %d fast-forwards, %d re-entries, %d cycles extrapolated\n",

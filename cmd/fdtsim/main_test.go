@@ -50,6 +50,14 @@ func TestBadInvocations(t *testing.T) {
 		{"-probe-iters", "-1"},
 		{"-min-gain", "1.5"},
 		{"-min-gain", "-0.2"},
+		{"-power-budget", "-1"},
+		{"-freq-ladder", "notanumber"},
+		{"-freq-ladder", "800,1600"}, // must be strictly descending
+		{"-freq-ladder", "2000,2000"},
+		{"-power-budget", "5", "-policy", "hillclimb"},
+		{"-power-budget", "5", "-policy", "hybrid"},
+		{"-power-budget", "5", "-corun", "pagemine+mg"},
+		{"-freq-ladder", "default", "-corun", "pagemine+mg"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
@@ -151,5 +159,26 @@ func TestTraceOutputParses(t *testing.T) {
 	}
 	if doc.OtherData["workload"] != "ed" {
 		t.Errorf("trace metadata workload = %q, want \"ed\"", doc.OtherData["workload"])
+	}
+}
+
+func TestPowerBudgetRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated run")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-workload", "ed", "-policy", "sat+bat", "-cores", "16",
+		"-power-budget", "5.6", "-check"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"ladder f2000>f1600>f1200>f800, budget 5.60",
+		"energy", "avg chip power, table-driven",
+		"freq=f", "invariants ok (",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
 	}
 }

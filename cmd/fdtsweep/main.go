@@ -57,6 +57,8 @@ func main() {
 		verifyAcc  = flag.Bool("verify", false, "with -sampled: also run every point exactly and print the error table")
 		probeIters = flag.Int("probe-iters", 0, "probe chunk length in iterations for hillclimb/hybrid policies (0 = default)")
 		minGain    = flag.Float64("min-gain", 0, "fractional speedup a probed size needs to win, for hillclimb/hybrid policies (0 = default)")
+		budget     = flag.Float64("power-budget", 0, "average-chip-power cap in nominal-active-core units (0 = unconstrained; implies -freq-ladder default)")
+		ladderStr  = flag.String("freq-ladder", "", "P-state ladder: \"default\" or comma-separated MHz values, nominal first (empty = single-frequency machine)")
 	)
 	flag.Parse()
 	if *probeIters < 0 {
@@ -67,6 +69,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fdtsweep: -min-gain %g, want in [0, 1)\n", *minGain)
 		os.Exit(2)
 	}
+	ladder, err := machine.ResolveDVFS(*budget, *ladderStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdtsweep:", err)
+		os.Exit(2)
+	}
+	dvfs := *budget > 0 || !ladder.Trivial()
+	pp := core.PowerParams{Budget: *budget, LockState: -1}
 	runner.SetWorkers(*parallel)
 	if *cacheDir != "" {
 		if _, err := core.OpenRunStore(*cacheDir); err != nil {
@@ -84,6 +93,10 @@ func main() {
 	}
 
 	if *corun != "" {
+		if dvfs {
+			fmt.Fprintln(os.Stderr, "fdtsweep: -corun does not support -power-budget/-freq-ladder (per-team power attribution is not modeled)")
+			os.Exit(2)
+		}
 		cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
 		os.Exit(runCorunSweep(cfg, *corun, *mapStr, md, *jsonPath))
 	}
@@ -93,7 +106,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fdtsweep: unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
-	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
+	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth).WithFreq(ladder)
 	factory := func(m *machine.Machine) core.Workload { return info.Factory(m) }
 
 	counts, err := parseThreads(*threadStr, *cores)
@@ -102,10 +115,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	sweep := core.SweepKeyedMode(cfg, info.Name, factory, counts, md)
+	var sweep []core.RunResult
+	if dvfs {
+		sweep = core.SweepBudgetKeyedMode(cfg, info.Name, factory, counts, pp, md)
+	} else {
+		sweep = core.SweepKeyedMode(cfg, info.Name, factory, counts, md)
+	}
 	base := sweep[0].TotalCycles // normalize to the 1-thread run
 	fmt.Printf("# %s on %d cores, %.2gx bandwidth (time normalized to %d threads)\n",
 		info.Name, *cores, *bandwidth, counts[0])
+	if dvfs {
+		names := make([]string, len(ladder.States))
+		for i, s := range ladder.States {
+			names[i] = s.Name
+		}
+		budgetStr := "unconstrained"
+		if *budget > 0 {
+			budgetStr = fmt.Sprintf("%.2f", *budget)
+		}
+		fmt.Printf("# ladder %s, budget %s\n", strings.Join(names, ">"), budgetStr)
+	}
 	fmt.Printf("%8s %12s %10s %10s %10s\n", "threads", "cycles", "norm.time", "bus.util", "power")
 	times := make([]uint64, len(sweep))
 	for i, r := range sweep {
@@ -129,7 +158,12 @@ func main() {
 	}
 
 	if *useSample && *verifyAcc {
-		exact := core.SweepKeyed(cfg, info.Name, factory, counts)
+		var exact []core.RunResult
+		if dvfs {
+			exact = core.SweepBudgetKeyedMode(cfg, info.Name, factory, counts, pp, core.ExactMode())
+		} else {
+			exact = core.SweepKeyed(cfg, info.Name, factory, counts)
+		}
 		fmt.Printf("# sampled-vs-exact verification\n")
 		fmt.Printf("%8s %12s %12s %9s %8s %8s %9s %8s\n",
 			"threads", "exact.cyc", "sampled.cyc", "cyc.err", "exact.pw", "smpl.pw", "pw.err", "skipped")
@@ -171,9 +205,17 @@ func main() {
 			// Hill-climbing and the hybrid are not model-driven Policies
 			// — their probes time real chunks — so their keyed runners
 			// always execute exact.
+			if dvfs {
+				fmt.Fprintf(os.Stderr, "fdtsweep: policy %q does not support -power-budget/-freq-ladder (its probes time real chunks at nominal frequency)\n", pname)
+				os.Exit(2)
+			}
 			r = core.RunHillClimbKeyed(cfg, info.Name, factory,
 				core.HillClimb{ProbeIters: *probeIters, MinGain: *minGain})
 		case "hybrid":
+			if dvfs {
+				fmt.Fprintf(os.Stderr, "fdtsweep: policy %q does not support -power-budget/-freq-ladder (its probes time real chunks at nominal frequency)\n", pname)
+				os.Exit(2)
+			}
 			r = core.RunHybridKeyed(cfg, info.Name, factory,
 				core.Hybrid{HP: core.HybridParams{ProbeIters: *probeIters, MinGain: *minGain}})
 		default:
@@ -182,17 +224,28 @@ func main() {
 				fmt.Fprintln(os.Stderr, "fdtsweep:", err)
 				os.Exit(2)
 			}
-			r = core.RunPolicyKeyedMode(cfg, info.Name, factory, pol, md)
+			if dvfs {
+				r = core.RunPolicyBudgetKeyedMode(cfg, info.Name, factory, pol, pp, md)
+			} else {
+				r = core.RunPolicyKeyedMode(cfg, info.Name, factory, pol, md)
+			}
 		}
 		out.Policies = append(out.Policies, r)
 		fmt.Printf("# %-8s -> ", r.Policy)
 		for _, k := range r.Kernels {
-			fmt.Printf("[%s threads=%d pcs=%d pbw=%d csfrac=%.2f%% bu1=%.2f%%] ",
-				k.Kernel, k.Decision.Threads, k.Decision.PCS, k.Decision.PBW,
+			fmt.Printf("[%s threads=%d", k.Kernel, k.Decision.Threads)
+			if k.Decision.Freq != "" {
+				fmt.Printf(" freq=%s", k.Decision.Freq)
+			}
+			fmt.Printf(" pcs=%d pbw=%d csfrac=%.2f%% bu1=%.2f%%] ",
+				k.Decision.PCS, k.Decision.PBW,
 				100*k.Decision.CSFraction, 100*k.Decision.BusUtil1)
 		}
-		fmt.Printf("time=%.3f power=%.2f\n",
-			float64(r.TotalCycles)/float64(base), r.AvgActiveCores)
+		fmt.Printf("time=%.3f power=%.2f", float64(r.TotalCycles)/float64(base), r.AvgActiveCores)
+		if r.Energy != nil {
+			fmt.Printf(" energy=%.0f", r.Energy.Total)
+		}
+		fmt.Println()
 	}
 
 	if *jsonPath != "" {

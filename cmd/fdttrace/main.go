@@ -59,10 +59,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list      = fs.Bool("list", false, "list workloads and exit")
 		check     = fs.Bool("check", false, "arm the runtime invariant checker (conservation, queueing, coherence, controller equations)")
 		useSample = fs.Bool("sampled", false, "ignored: traces always execute exactly (kept for flag parity with fdtsim)")
+		budget    = fs.Float64("power-budget", 0, "average-chip-power cap in nominal-active-core units (0 = unconstrained; implies -freq-ladder default)")
+		ladderStr = fs.String("freq-ladder", "", "P-state ladder: \"default\" or comma-separated MHz values, nominal first (empty = single-frequency machine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	ladder, errDVFS := machine.ResolveDVFS(*budget, *ladderStr)
+	if errDVFS != nil {
+		fmt.Fprintln(stderr, "fdttrace:", errDVFS)
+		return 2
+	}
+	dvfs := *budget > 0 || !ladder.Trivial()
 	if *useSample {
 		// A golden trace must record every simulated event;
 		// fast-forwarded regions would leave silent gaps.
@@ -95,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth)
+	cfg := machine.DefaultConfig().WithCores(*cores).WithBandwidth(*bandwidth).WithFreq(ladder)
 	m := machine.MustNew(cfg)
 	tr := trace.New(*bufCap, mask)
 	m.AttachTracer(tr)
@@ -109,7 +117,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"cores":     fmt.Sprintf("%d", *cores),
 		"bandwidth": fmt.Sprintf("%g", *bandwidth),
 	}
+	if dvfs {
+		meta["budget"] = fmt.Sprintf("%g", *budget)
+		meta["ladder"] = ladder.Key()
+	}
 	if *corun != "" {
+		if dvfs {
+			fmt.Fprintln(stderr, "fdttrace: -corun does not support -power-budget/-freq-ladder (per-team power attribution is not modeled)")
+			return 2
+		}
 		if strings.ToLower(*policy) == "hybrid" {
 			fmt.Fprintln(stderr, "fdttrace: -policy hybrid does not support -corun (its probes own the whole machine)")
 			return 2
@@ -159,10 +175,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	} else {
 		w := info.Factory(m)
+		pp := core.PowerParams{Budget: *budget, LockState: -1}
 		switch strings.ToLower(*policy) {
 		case "adaptive":
-			res = core.NewAdaptiveController(core.Combined{}, core.DefaultMonitorParams()).Run(m, w)
+			ctl := core.NewAdaptiveController(core.Combined{}, core.DefaultMonitorParams())
+			if dvfs {
+				ctl.Power = &pp
+			}
+			res = ctl.Run(m, w)
 		case "hybrid":
+			if dvfs {
+				fmt.Fprintln(stderr, "fdttrace: -policy hybrid does not support -power-budget/-freq-ladder (its probes time real chunks at nominal frequency)")
+				return 2
+			}
 			res = core.Hybrid{}.Run(m, w)
 		default:
 			pol, err := parsePolicy(*policy, *threads)
@@ -170,7 +195,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "fdttrace:", err)
 				return 2
 			}
-			res = core.NewController(pol).Run(m, w)
+			ctl := core.NewController(pol)
+			if dvfs {
+				ctl.Power = &pp
+			}
+			res = ctl.Run(m, w)
 		}
 		meta["workload"] = res.Workload
 		meta["policy"] = policyLabel(*policy, res.Policy)
@@ -189,6 +218,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stdout, "workload   %s under %s: %d cycles, %.2f avg active cores\n",
 		res.Workload, policyLabel(*policy, res.Policy), res.TotalCycles, res.AvgActiveCores)
+	if res.Energy != nil {
+		fmt.Fprintf(stdout, "energy     %.0f core-cycles (%.2f avg chip power, table-driven)\n",
+			res.Energy.Total, res.Energy.AvgPower)
+	}
 	for _, k := range res.Kernels {
 		if k.Retrains > 0 {
 			fmt.Fprintf(stdout, "kernel     %s: %d phases (%d retrains)\n", k.Kernel, len(k.Phases), k.Retrains)

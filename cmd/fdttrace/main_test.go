@@ -33,6 +33,11 @@ func TestBadInvocations(t *testing.T) {
 		{"-corun", "pagemine+mg", "-mapping", "nosuch"},
 		{"-corun", "pagemine+mg", "-mapping", "smt"}, // 1 SMT plane, 2 teams
 		{"-corun", "pagemine+mg", "-policy", "hybrid"},
+		{"-power-budget", "-1"},
+		{"-freq-ladder", "notanumber"},
+		{"-freq-ladder", "800,1600"}, // must be strictly descending
+		{"-power-budget", "5", "-policy", "hybrid"},
+		{"-power-budget", "5", "-corun", "pagemine+mg"},
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer
@@ -112,5 +117,40 @@ func TestCorunTrace(t *testing.T) {
 	}
 	if !strings.Contains(string(blob), `"mapping"`) {
 		t.Error("co-run trace metadata missing the mapping")
+	}
+}
+
+func TestPowerBudgetTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated run")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.json")
+	var out, errb bytes.Buffer
+	args := []string{"-workload", "ed", "-policy", "sat+bat", "-cores", "16",
+		"-power-budget", "5.6", "-check", "-o", tracePath}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"energy", "avg chip power, table-driven", "invariants ok ("} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
+	}
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Meta map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.Meta["budget"] != "5.6" {
+		t.Errorf("trace metadata budget = %q, want 5.6", doc.Meta["budget"])
+	}
+	if !strings.Contains(doc.Meta["ladder"], "f1600") {
+		t.Errorf("trace metadata ladder = %q, want it to name f1600", doc.Meta["ladder"])
 	}
 }

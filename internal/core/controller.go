@@ -3,6 +3,7 @@ package core
 import (
 	"fdt/internal/counters"
 	"fdt/internal/machine"
+	"fdt/internal/power"
 	"fdt/internal/sampled"
 	"fdt/internal/thread"
 	"fdt/internal/trace"
@@ -111,6 +112,13 @@ type RunResult struct {
 	// in sampled mode; nil for exact runs (and omitted from JSON, so
 	// exact-mode output stays bit-identical to pre-sampling releases).
 	Sampled *sampled.Stats `json:",omitempty"`
+	// Energy holds the table-driven energy accounting when the run
+	// executed on a machine with a P-state ladder; nil on
+	// single-frequency machines (and omitted from JSON, so their
+	// output stays bit-identical to pre-DVFS releases). Energy.AvgPower
+	// is the budget-comparable chip power including idle draw;
+	// AvgActiveCores above remains the paper's flat metric.
+	Energy *power.Energy `json:",omitempty"`
 }
 
 // AvgThreads reports the cycle-weighted average team size across
@@ -154,6 +162,11 @@ type Controller struct {
 	// value is exact mode — bit-identical to the pre-sampling
 	// controller.
 	Mode Mode
+	// Power arms the budget-constrained (threads, frequency) co-search
+	// in the Estimate stage (see PowerParams and EstimateDVFS). nil
+	// defaults to the unconstrained full-ladder search on machines
+	// with a P-state ladder and to the plain Estimate stage otherwise.
+	Power *PowerParams
 
 	// st accumulates sampled-execution statistics for the current run;
 	// set by Run when Mode.Sampled, nil otherwise.
@@ -179,12 +192,67 @@ func NewAdaptiveController(p Policy, mp MonitorParams) *Controller {
 // The machine must be fresh (one Machine simulates one execution).
 func (ctl *Controller) Run(m *machine.Machine, w Workload) RunResult {
 	res := RunResult{Workload: w.Name(), Policy: ctl.Policy.Name()}
+	if ctl.Power != nil && ctl.Power.Budget > 0 {
+		m.SetPowerBudget(ctl.Power.Budget)
+	}
 	thread.Run(m, ctl.runBody(w, &res))
 	m.FinishCheck()
 	res.TotalCycles = m.Eng.Now()
 	res.AvgActiveCores = m.Power.AverageActiveCores(res.TotalCycles)
 	res.BusBusyCycles = m.Ctrs.Counter(counters.BusBusyCycles).Read()
+	if m.Power.Tracked() {
+		e := m.Power.Energy(res.TotalCycles)
+		res.Energy = &e
+		addSimEnergy(e.Total)
+	} else {
+		addSimEnergy(float64(m.Power.ActiveCoreCycles()))
+	}
 	return res
+}
+
+// dvfsOn reports whether the Estimate stage searches the (threads,
+// frequency) plane / enforces a budget on machine m: armed by a
+// non-trivial ladder or explicit PowerParams, off otherwise — the
+// bit-identical legacy pipeline.
+func (ctl *Controller) dvfsOn(m *machine.Machine) bool {
+	return !m.Cfg.Freq.Trivial() || ctl.Power != nil
+}
+
+// powerParams resolves the controller's power parameters (nil means
+// the unconstrained full-ladder search).
+func (ctl *Controller) powerParams() PowerParams {
+	if ctl.Power != nil {
+		return *ctl.Power
+	}
+	return DefaultPowerParams()
+}
+
+// trainState picks the ladder state training runs at: the locked
+// state when one is pinned — a fixed-frequency run trains at its own
+// frequency, so the Eq. 3/5/7 models apply to it unscaled — else
+// nominal.
+func (ctl *Controller) trainState(m *machine.Machine) int {
+	if m.Cfg.Freq.Trivial() {
+		return 0
+	}
+	if pp := ctl.powerParams(); pp.LockState >= 0 {
+		s := pp.LockState
+		if s >= len(m.Cfg.Freq.States) {
+			s = len(m.Cfg.Freq.States) - 1
+		}
+		return s
+	}
+	return 0
+}
+
+// setFreq moves the whole chip to ladder state idx at the current
+// cycle; no-op on single-frequency machines.
+func (ctl *Controller) setFreq(c *thread.Ctx, idx int) {
+	m := c.Machine()
+	if m.Cfg.Freq.Trivial() {
+		return
+	}
+	m.SetFreq(idx, c.CPU.CycleCount())
 }
 
 // runBody builds the master function for one workload execution,
@@ -276,6 +344,19 @@ func (ctl *Controller) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 
 	if !ctl.Policy.NeedsTraining() || n < ctl.Params.MinIterations {
 		d := Decision{Threads: ctl.Policy.StaticThreads(cores)}
+		if ctl.dvfsOn(m) {
+			pp := ctl.powerParams()
+			idx := ctl.trainState(m)
+			d.Threads = budgetStaticThreads(d.Threads, m.Cfg.Freq, idx, cores, pp.Budget)
+			if !m.Cfg.Freq.Trivial() {
+				d.FreqIndex = idx
+				d.Freq = m.Cfg.Freq.States[idx].Name
+				d.PredPower = m.Cfg.Freq.Table().ChipPower(idx, d.Threads, cores)
+				ctl.setFreq(c, idx)
+			} else if pp.Budget > 0 {
+				d.PredPower = float64(d.Threads)
+			}
+		}
 		ct.decision(k.Name(), start, d)
 		ctl.execute(c, k, d.Threads, 0, n)
 		ct.span("execute", k.Name(), start, c.CPU.CycleCount(), uint64(d.Threads), 0, uint64(n))
@@ -295,15 +376,34 @@ func (ctl *Controller) runKernel(c *thread.Ctx, k Kernel) KernelResult {
 // runTrainOnce is Fig 7's three-stage flow: train on a peeled prefix,
 // estimate once, execute the remainder as a single chunk.
 func (ctl *Controller) runTrainOnce(c *thread.Ctx, k Kernel, n, cores int, start uint64, ct ctlTrace) KernelResult {
-	cc := newCtlCheck(c.Machine())
+	m := c.Machine()
+	dvfs := ctl.dvfsOn(m)
+	cc := newCtlCheck(m)
 	cc.atDecision(c, start)
+	if dvfs {
+		ctl.setFreq(c, ctl.trainState(m))
+	}
 	out := Sampler{Params: ctl.Params}.Sample(c, k, ctl.Policy, 0, n)
 	ctl.countTraining(out.Train.Iters)
-	d, tr := Estimator{Params: ctl.Params}.Estimate(ctl.Policy, out, cores)
+	var d Decision
+	var tr TrainResult
+	if dvfs {
+		d, tr = Estimator{Params: ctl.Params}.EstimateDVFS(ctl.Policy, out, cores, m.Cfg.Freq, ctl.powerParams(), ctl.trainState(m))
+	} else {
+		d, tr = Estimator{Params: ctl.Params}.Estimate(ctl.Policy, out, cores)
+	}
 	trainCycles := c.CPU.CycleCount() - start
 	ct.span("sample", k.Name(), start, c.CPU.CycleCount(), uint64(out.Train.Iters), 0, 0)
 	ct.decision(k.Name(), c.CPU.CycleCount(), d)
-	cc.decision(ctl.Policy, tr, cores, d, c.CPU.CycleCount())
+	if !dvfs {
+		// The checker re-derives the Eq. 3/5/7 decision, which assumes
+		// the unconstrained nominal-frequency Estimate stage; the DVFS
+		// search is covered by its own estimator tests instead.
+		cc.decision(ctl.Policy, tr, cores, d, c.CPU.CycleCount())
+	}
+	if dvfs {
+		ctl.setFreq(c, d.FreqIndex)
+	}
 	execStart := c.CPU.CycleCount()
 	ctl.execute(c, k, d.Threads, out.Next, n)
 	ct.span("execute", k.Name(), execStart, c.CPU.CycleCount(), uint64(d.Threads), uint64(out.Next), uint64(n))
@@ -326,21 +426,40 @@ func (ctl *Controller) runAdaptive(c *thread.Ctx, k Kernel, n, cores int, start 
 	mp := *ctl.Monitor
 	sampler := Sampler{Params: ctl.Params}
 	estimator := Estimator{Params: ctl.Params}
+	m := c.Machine()
+	dvfs := ctl.dvfsOn(m)
 
-	cc := newCtlCheck(c.Machine())
+	cc := newCtlCheck(m)
 	kr := KernelResult{Kernel: k.Name()}
 	iter := 0
 	trigger := ""
 	for iter < n {
 		phaseStart := c.CPU.CycleCount()
 		cc.atDecision(c, phaseStart)
+		if dvfs {
+			ctl.setFreq(c, ctl.trainState(m))
+		}
 		out := sampler.Sample(c, k, ctl.Policy, iter, n)
 		ctl.countTraining(out.Train.Iters)
-		d, tr := estimator.Estimate(ctl.Policy, out, cores)
+		var d Decision
+		var tr TrainResult
+		if dvfs {
+			d, tr = estimator.EstimateDVFS(ctl.Policy, out, cores, m.Cfg.Freq, ctl.powerParams(), ctl.trainState(m))
+		} else {
+			d, tr = estimator.Estimate(ctl.Policy, out, cores)
+		}
 		trainCycles := c.CPU.CycleCount() - phaseStart
 		ct.span("sample", k.Name(), phaseStart, c.CPU.CycleCount(), uint64(out.Train.Iters), uint64(iter), 0)
 		ct.decision(k.Name(), c.CPU.CycleCount(), d)
-		cc.decision(ctl.Policy, tr, cores, d, c.CPU.CycleCount())
+		if !dvfs {
+			cc.decision(ctl.Policy, tr, cores, d, c.CPU.CycleCount())
+		}
+		if dvfs {
+			// The Monitor's calibration interval rebases its
+			// expectations on the first executed interval, absorbing
+			// the frequency shift between training and execution.
+			ctl.setFreq(c, d.FreqIndex)
+		}
 
 		var stop int
 		var dr *Drift

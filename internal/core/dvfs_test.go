@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fdt/internal/machine"
+)
+
+// synthetic training outcomes for the estimator-level tests: the DVFS
+// search is a pure function of the sample, so no simulation is needed.
+
+func computeBound(total uint64) SampleOutcome {
+	return SampleOutcome{Train: TrainResult{
+		Iters: 4, TotalCycles: total, SATStable: true, BWExcluded: true,
+	}}
+}
+
+func TestScaleTrain(t *testing.T) {
+	tr := TrainResult{TotalCycles: 1000, CSCycles: 100, BusBusyCycles: 300, MemStallCycles: 400}
+
+	if got := scaleTrain(tr, 1); got != tr {
+		t.Fatalf("k=1 must be the identity: %+v", got)
+	}
+
+	got := scaleTrain(tr, 2)
+	// compute (1000-400) dilates ×2, memory carries over unscaled
+	if want := uint64(600*2 + 400); got.TotalCycles != want {
+		t.Errorf("TotalCycles = %d, want %d", got.TotalCycles, want)
+	}
+	if want := uint64(200); got.CSCycles != want {
+		t.Errorf("CSCycles = %d, want %d", got.CSCycles, want)
+	}
+	if got.BusBusyCycles != tr.BusBusyCycles {
+		t.Errorf("BusBusyCycles scaled: %d", got.BusBusyCycles)
+	}
+
+	// memory stall reported above total (counter overlap) is clamped,
+	// not underflowed
+	weird := TrainResult{TotalCycles: 100, MemStallCycles: 250}
+	if got := scaleTrain(weird, 3); got.TotalCycles != 100 {
+		t.Errorf("clamped memory: TotalCycles = %d, want 100", got.TotalCycles)
+	}
+}
+
+func TestScaleTrainWidensBandwidthBound(t *testing.T) {
+	// A bus-bound profile: half the single-thread time is bus busy.
+	tr := TrainResult{TotalCycles: 1000, BusBusyCycles: 500}
+	bu0 := tr.BusUtil1()
+	bu1 := scaleTrain(tr, 1.25).BusUtil1()
+	if !(bu1 < bu0) {
+		t.Fatalf("BU_1 did not drop at lower frequency: %g -> %g", bu0, bu1)
+	}
+	// Eq. 5: P_BW = 1/BU_1 widens with the dilation.
+	if p0, p1 := SaturationThreads(bu0), SaturationThreads(bu1); !(p1 > p0) {
+		t.Fatalf("P_BW did not widen: %g -> %g", p0, p1)
+	}
+}
+
+func TestEstimateDVFSTrivialLadderBudgetClamp(t *testing.T) {
+	e := Estimator{Params: DefaultTrainingParams()}
+	pp := PowerParams{Budget: 3, LockState: -1}
+	d, _ := e.EstimateDVFS(Combined{}, computeBound(1000), 8, machine.FreqConfig{}, pp, 0)
+	if d.Threads != 3 {
+		t.Fatalf("flat-table clamp: threads = %d, want 3", d.Threads)
+	}
+	if d.PredPower != 3 {
+		t.Fatalf("flat-table PredPower = %g, want 3", d.PredPower)
+	}
+	if d.FreqIndex != 0 || d.Freq != "" {
+		t.Fatalf("trivial ladder produced a frequency: %+v", d)
+	}
+
+	// Budget below one core still runs one thread.
+	d, _ = e.EstimateDVFS(Combined{}, computeBound(1000), 8, machine.FreqConfig{}, PowerParams{Budget: 0.5, LockState: -1}, 0)
+	if d.Threads != 1 {
+		t.Fatalf("sub-core budget: threads = %d, want 1", d.Threads)
+	}
+}
+
+func TestEstimateDVFSUnconstrainedPicksNominal(t *testing.T) {
+	e := Estimator{Params: DefaultTrainingParams()}
+	fc := machine.DefaultLadder()
+	d, _ := e.EstimateDVFS(Combined{}, computeBound(1000), 8, fc, DefaultPowerParams(), 0)
+	if d.FreqIndex != 0 || d.Freq != "f2000" {
+		t.Fatalf("compute-bound unconstrained run left nominal: %+v", d)
+	}
+	if d.Threads != 8 {
+		t.Fatalf("threads = %d, want 8", d.Threads)
+	}
+	if want := fc.Table().ChipPower(0, 8, 8); d.PredPower != want {
+		t.Fatalf("PredPower = %g, want %g", d.PredPower, want)
+	}
+}
+
+func TestEstimateDVFSBudgetTradesFrequencyForThreads(t *testing.T) {
+	e := Estimator{Params: DefaultTrainingParams()}
+	fc := machine.DefaultLadder()
+	// Budget 5 on 8 cores: nominal admits 4 active cores
+	// ((5-0.8)/0.9), state f1600 admits all 8 ((5-0.64)/0.432 = 10).
+	// For pure compute, 8 threads at 1600 MHz (time 1.25t/8) beats 4 at
+	// 2000 (t/4).
+	pp := PowerParams{Budget: 5, LockState: -1}
+	d, _ := e.EstimateDVFS(Combined{}, computeBound(1000), 8, fc, pp, 0)
+	if d.Freq != "f1600" || d.Threads != 8 {
+		t.Fatalf("budgeted compute-bound: got %d threads at %q, want 8 at f1600", d.Threads, d.Freq)
+	}
+	if d.PredPower > pp.Budget {
+		t.Fatalf("PredPower %g exceeds budget %g", d.PredPower, pp.Budget)
+	}
+}
+
+func TestEstimateDVFSLockedStateRestrictsSearch(t *testing.T) {
+	e := Estimator{Params: DefaultTrainingParams()}
+	fc := machine.DefaultLadder()
+	for lock := 0; lock < len(fc.States); lock++ {
+		pp := PowerParams{Budget: 0, LockState: lock}
+		d, _ := e.EstimateDVFS(Combined{}, computeBound(1000), 8, fc, pp, lock)
+		if d.FreqIndex != lock {
+			t.Fatalf("lock=%d: decision at state %d", lock, d.FreqIndex)
+		}
+	}
+	// An out-of-range lock clamps to the lowest state rather than
+	// panicking (the CLI validates, the library stays total).
+	d, _ := e.EstimateDVFS(Combined{}, computeBound(1000), 8, fc, PowerParams{LockState: 99}, 0)
+	if d.FreqIndex != len(fc.States)-1 {
+		t.Fatalf("out-of-range lock landed on state %d", d.FreqIndex)
+	}
+}
+
+func TestEstimateDVFSInfeasibleBudgetDegenerates(t *testing.T) {
+	e := Estimator{Params: DefaultTrainingParams()}
+	fc := machine.DefaultLadder()
+	// Idle floors on 8 cores: 0.8 / 0.64 / 0.48 / 0.32 — a budget of
+	// 0.1 admits no state at all. The search must degenerate to one
+	// thread in the lowest-power state instead of returning garbage.
+	pp := PowerParams{Budget: 0.1, LockState: -1}
+	d, _ := e.EstimateDVFS(Combined{}, computeBound(1000), 8, fc, pp, 0)
+	if d.Threads != 1 {
+		t.Fatalf("infeasible budget: threads = %d, want 1", d.Threads)
+	}
+	if d.FreqIndex != len(fc.States)-1 {
+		t.Fatalf("infeasible budget: state %d, want lowest-power state %d", d.FreqIndex, len(fc.States)-1)
+	}
+	if want := fc.Table().ChipPower(d.FreqIndex, 1, 8); d.PredPower != want {
+		t.Fatalf("PredPower = %g, want %g", d.PredPower, want)
+	}
+}
+
+func TestEstimateDVFSEchoesNominalMeasurements(t *testing.T) {
+	e := Estimator{Params: DefaultTrainingParams()}
+	out := SampleOutcome{Train: TrainResult{
+		Iters: 4, TotalCycles: 1000, CSCycles: 100, BusBusyCycles: 200,
+		MemStallCycles: 300, SATStable: true,
+	}}
+	d, tr := e.EstimateDVFS(Combined{}, out, 8, machine.DefaultLadder(), PowerParams{Budget: 5, LockState: -1}, 0)
+	if math.Abs(d.CSFraction-tr.CSFraction()) > 1e-12 || math.Abs(d.BusUtil1-tr.BusUtil1()) > 1e-12 {
+		t.Fatalf("decision does not echo the nominal measurements: %+v vs %+v", d, tr)
+	}
+}
+
+func TestBudgetStaticThreads(t *testing.T) {
+	fc := machine.DefaultLadder()
+	cases := []struct {
+		name   string
+		n      int
+		fc     machine.FreqConfig
+		s      int
+		budget float64
+		want   int
+	}{
+		{name: "unconstrained", n: 8, fc: fc, s: 0, budget: 0, want: 8},
+		{name: "nominal clamp", n: 8, fc: fc, s: 0, budget: 5, want: 4},
+		{name: "low state headroom", n: 8, fc: fc, s: 2, budget: 5, want: 8},
+		{name: "floor of one", n: 8, fc: fc, s: 0, budget: 0.1, want: 1},
+		{name: "trivial ladder flat table", n: 8, fc: machine.FreqConfig{}, s: 0, budget: 3, want: 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := budgetStaticThreads(tc.n, tc.fc, tc.s, 8, tc.budget); got != tc.want {
+				t.Fatalf("budgetStaticThreads = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}

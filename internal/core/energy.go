@@ -1,0 +1,30 @@
+package core
+
+import "sync"
+
+// Process-wide simulated-energy accumulator. Every Controller.Run
+// folds its run's energy in — the table-driven Energy.Total on
+// P-state machines, the flat active-core-cycles equivalent otherwise
+// (the two agree on a trivial ladder, where Active = 1 and Idle = 0)
+// — so long-lived frontends (fdtreport's footer, the daemon's
+// /v1/stats) can report total simulated energy alongside run counts.
+var (
+	simEnergyMu    sync.Mutex
+	simEnergyTotal float64
+)
+
+// addSimEnergy folds one run's energy into the process-wide total.
+func addSimEnergy(e float64) {
+	simEnergyMu.Lock()
+	simEnergyTotal += e
+	simEnergyMu.Unlock()
+}
+
+// SimEnergyTotal reports the total simulated energy accumulated by
+// every Controller.Run in this process, in nominal-active-core cycle
+// units.
+func SimEnergyTotal() float64 {
+	simEnergyMu.Lock()
+	defer simEnergyMu.Unlock()
+	return simEnergyTotal
+}

@@ -24,14 +24,16 @@ type Estimator struct {
 func (e Estimator) Estimate(pol Policy, out SampleOutcome, cores int) (Decision, TrainResult) {
 	tr := out.Train
 	if est := e.steadySamples(out.Samples); est != nil {
-		var wt, wcs, wb uint64
+		var wt, wcs, wb, wms uint64
 		for _, s := range est {
 			wt += s.Cycles
 			wcs += s.CS
 			wb += s.BusBusy
+			wms += s.MemStall
 		}
 		if wt > 0 {
 			tr.TotalCycles, tr.CSCycles, tr.BusBusyCycles = wt, wcs, wb
+			tr.MemStallCycles = wms
 		}
 	}
 	return pol.Estimate(tr, cores), tr

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"fdt/internal/machine"
+)
+
+// goldenKeys regenerates the run-cache content addresses that
+// testdata/identity_keys_pr9.txt captured from the pre-DVFS tree: a
+// spread of machine configs × policies × modes plus the monitor,
+// hill-climb and hybrid key forms. The golden file is a hard identity
+// pin — if any key changes, previously cached/persisted runs would be
+// silently resimulated (or worse, collide), so a diff here is a
+// compatibility break, not a test to update casually.
+func goldenKeys() []string {
+	cfgs := []machine.Config{
+		machine.DefaultConfig(),
+		machine.DefaultConfig().WithCores(16),
+		machine.DefaultConfig().WithCores(8).WithBandwidth(0.5),
+		machine.DefaultConfig().WithSMT(2),
+	}
+	pols := []Policy{Static{}, Static{N: 4}, SAT{}, BAT{}, Combined{}}
+	var keys []string
+	for _, cfg := range cfgs {
+		for _, pol := range pols {
+			for _, md := range []Mode{ExactMode(), SampledMode()} {
+				keys = append(keys, runKey(cfg, "pagemine", pol)+md.key())
+			}
+		}
+		mp := DefaultMonitorParams()
+		keys = append(keys, runKey(cfg, "ed", Combined{})+fmt.Sprintf("|monitor/%+v", mp))
+		hc := HillClimb{}
+		keys = append(keys, ConfigKey(cfg)+"|ed"+fmt.Sprintf("|policy/hill-climb/%+v", hc))
+		h := Hybrid{}
+		keys = append(keys, ConfigKey(cfg)+"|ed"+
+			fmt.Sprintf("|policy/hybrid/seed=combined/%+v|train/%+v", h.HP, h.Params))
+	}
+	return keys
+}
+
+// TestRunCacheKeysIdentityPR9 pins every single-frequency run-cache
+// key byte-identical to the pre-DVFS release: the trivial ladder must
+// contribute nothing to ConfigKey and default PowerParams nothing to
+// the run key (satellite 1's cache-key half; the counters half lives
+// in internal/experiments).
+func TestRunCacheKeysIdentityPR9(t *testing.T) {
+	data, err := os.ReadFile("../../testdata/identity_keys_pr9.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	got := goldenKeys()
+	if len(got) != len(want) {
+		t.Fatalf("key count drifted: got %d, golden file has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("key %d drifted from PR 9:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+	// Default power parameters must be invisible in run keys, so
+	// budget-keyed entry points share cache entries with the legacy
+	// ones.
+	if frag := DefaultPowerParams().key(); frag != "" {
+		t.Errorf("DefaultPowerParams().key() = %q, want empty", frag)
+	}
+}
+
+// TestRunCacheKeysFreqFragment is the counterpart: once the ladder or
+// the power parameters are non-default they MUST appear in the key,
+// so DVFS runs never collide with single-frequency ones.
+func TestRunCacheKeysFreqFragment(t *testing.T) {
+	base := machine.DefaultConfig()
+	cfg := base.WithFreq(machine.DefaultLadder())
+	key := ConfigKey(cfg)
+	if !strings.HasPrefix(key, ConfigKey(base)) {
+		t.Errorf("ladder key does not extend the flat key:\n%s", key)
+	}
+	wantFrag := "|freq/" + machine.DefaultLadder().Key()
+	if !strings.HasSuffix(key, wantFrag) {
+		t.Errorf("ladder key %q missing fragment %q", key, wantFrag)
+	}
+	if k2 := ConfigKey(base.WithFreq(machine.FreqConfig{})); k2 != ConfigKey(base) {
+		t.Errorf("explicit trivial ladder changed the key: %q", k2)
+	}
+
+	pp := PowerParams{Budget: 4, LockState: -1}
+	if got, want := pp.key(), "|power/b=4,lock=-1"; got != want {
+		t.Errorf("PowerParams.key() = %q, want %q", got, want)
+	}
+	lock := PowerParams{Budget: 0, LockState: 2}
+	if got, want := lock.key(), "|power/b=0,lock=2"; got != want {
+		t.Errorf("lock-only key = %q, want %q", got, want)
+	}
+}

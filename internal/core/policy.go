@@ -13,6 +13,12 @@ type TrainResult struct {
 	CSCycles uint64
 	// BusBusyCycles is the cycles the off-chip data bus was busy.
 	BusBusyCycles uint64
+	// MemStallCycles is the cycles the training thread spent stalled
+	// on memory accesses (load + store port stalls). The DVFS search
+	// uses it to split TotalCycles into frequency-scaled compute and
+	// wall-anchored memory time; the single-frequency policies ignore
+	// it.
+	MemStallCycles uint64
 	// SATStable reports whether the T_CS/T_NoCS ratio met the
 	// stability criterion (within 5% for three consecutive
 	// iterations) before the iteration cap.
@@ -59,6 +65,16 @@ type Decision struct {
 	// the estimates, for reports.
 	CSFraction float64
 	BusUtil1   float64
+	// FreqIndex and Freq record the P-state the DVFS-aware Estimate
+	// stage chose (see EstimateDVFS); zero/empty on single-frequency
+	// machines — and omitted from JSON, so exact-mode output stays
+	// bit-identical to pre-DVFS releases.
+	FreqIndex int    `json:",omitempty"`
+	Freq      string `json:",omitempty"`
+	// PredPower is the chip power the chosen (threads, freq) point
+	// was predicted to draw (nominal-active-core units; the budget
+	// the clamp enforced). Zero when no DVFS search ran.
+	PredPower float64 `json:",omitempty"`
 }
 
 // Policy chooses thread counts for kernels. Policies that train

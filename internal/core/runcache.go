@@ -5,6 +5,7 @@ import (
 	"unsafe"
 
 	"fdt/internal/machine"
+	"fdt/internal/mem"
 	"fdt/internal/runner"
 )
 
@@ -67,9 +68,23 @@ func ResetRunCache() { runCache.Reset() }
 
 // ConfigKey fingerprints a machine configuration for cache keying.
 // machine.Config is a tree of value types, so the printed form is a
-// complete content address.
+// complete content address. The print goes through a view struct
+// holding the pre-DVFS fields so that a trivial ladder contributes
+// nothing — single-frequency keys are byte-identical to pre-DVFS
+// releases, mirroring the exact-mode rule for Mode.key — while a
+// non-trivial ladder appends its own fragment.
 func ConfigKey(cfg machine.Config) string {
-	return fmt.Sprintf("%+v", cfg)
+	legacy := struct {
+		Mem         mem.Config
+		IssueWidth  int
+		ForkCost    uint64
+		SMTContexts int
+	}{cfg.Mem, cfg.IssueWidth, cfg.ForkCost, cfg.SMTContexts}
+	key := fmt.Sprintf("%+v", legacy)
+	if !cfg.Freq.Trivial() {
+		key += "|freq/" + cfg.Freq.Key()
+	}
+	return key
 }
 
 // policyKey resolves a policy to its cache identity on a machine with
@@ -120,6 +135,59 @@ func RunPolicyKeyedMode(cfg machine.Config, wkey string, f Factory, pol Policy, 
 	})
 }
 
+// RunPolicyBudget is RunPolicy under explicit power parameters: the
+// controller's Estimate stage searches the (threads, frequency) plane
+// within pp's budget (and lock) on cfg's ladder.
+func RunPolicyBudget(cfg machine.Config, f Factory, pol Policy, pp PowerParams) RunResult {
+	return RunPolicyBudgetMode(cfg, f, pol, pp, ExactMode())
+}
+
+// RunPolicyBudgetMode is RunPolicyBudget in an explicit execution
+// mode.
+func RunPolicyBudgetMode(cfg machine.Config, f Factory, pol Policy, pp PowerParams, md Mode) RunResult {
+	m := machine.MustNew(cfg)
+	ctl := NewController(pol)
+	ctl.Mode = md
+	ctl.Power = &pp
+	return ctl.Run(m, f(m))
+}
+
+// RunPolicyBudgetKeyed is RunPolicyBudget through the run cache. The
+// power parameters join the content address (default parameters
+// contribute nothing, so unconstrained runs share entries with
+// RunPolicyKeyed).
+func RunPolicyBudgetKeyed(cfg machine.Config, wkey string, f Factory, pol Policy, pp PowerParams) RunResult {
+	return RunPolicyBudgetKeyedMode(cfg, wkey, f, pol, pp, ExactMode())
+}
+
+// RunPolicyBudgetKeyedMode is RunPolicyBudgetKeyed in an explicit
+// execution mode.
+func RunPolicyBudgetKeyedMode(cfg machine.Config, wkey string, f Factory, pol Policy, pp PowerParams, md Mode) RunResult {
+	if wkey == "" {
+		return RunPolicyBudgetMode(cfg, f, pol, pp, md)
+	}
+	return runCache.Do(runKey(cfg, wkey, pol)+pp.key()+md.key(), func() RunResult {
+		return RunPolicyBudgetMode(cfg, f, pol, pp, md)
+	})
+}
+
+// RunAdaptiveBudgetKeyed is RunAdaptiveKeyed under explicit power
+// parameters: the adaptive pipeline re-runs the (threads, frequency)
+// search at every phase change.
+func RunAdaptiveBudgetKeyed(cfg machine.Config, wkey string, f Factory, pol Policy, mp MonitorParams, pp PowerParams) RunResult {
+	run := func() RunResult {
+		m := machine.MustNew(cfg)
+		ctl := NewAdaptiveController(pol, mp)
+		ctl.Power = &pp
+		return ctl.Run(m, f(m))
+	}
+	if wkey == "" {
+		return run()
+	}
+	key := runKey(cfg, wkey, pol) + fmt.Sprintf("|monitor/%+v", mp) + pp.key()
+	return runCache.Do(key, run)
+}
+
 // RunAdaptive runs the workload on a fresh machine under a
 // phase-adaptive (monitored) controller.
 func RunAdaptive(cfg machine.Config, f Factory, pol Policy, mp MonitorParams) RunResult {
@@ -167,6 +235,18 @@ func SweepKeyedMode(cfg machine.Config, wkey string, f Factory, threadCounts []i
 	out := make([]RunResult, len(threadCounts))
 	runner.Map(len(threadCounts), func(i int) {
 		out[i] = RunPolicyKeyedMode(cfg, wkey, f, Static{N: threadCounts[i]}, md)
+	})
+	return out
+}
+
+// SweepBudgetKeyedMode is SweepKeyedMode under explicit power
+// parameters: every static point runs budget-clamped on cfg's ladder
+// (budgetStaticThreads), so a sweep's curve stays comparable to the
+// budgeted policy placements drawn onto it.
+func SweepBudgetKeyedMode(cfg machine.Config, wkey string, f Factory, threadCounts []int, pp PowerParams, md Mode) []RunResult {
+	out := make([]RunResult, len(threadCounts))
+	runner.Map(len(threadCounts), func(i int) {
+		out[i] = RunPolicyBudgetKeyedMode(cfg, wkey, f, Static{N: threadCounts[i]}, pp, md)
 	})
 	return out
 }

@@ -11,11 +11,14 @@ import (
 // every measurement the policy asked for is complete.
 
 // IterSample is one peeled iteration's counter deltas: wall cycles,
-// cycles inside critical sections, and off-chip bus busy cycles.
+// cycles inside critical sections, off-chip bus busy cycles, and
+// memory-port stall cycles (the wall-anchored component the DVFS
+// search must not scale).
 type IterSample struct {
-	Cycles  uint64
-	CS      uint64
-	BusBusy uint64
+	Cycles   uint64
+	CS       uint64
+	BusBusy  uint64
+	MemStall uint64
 }
 
 // SampleOutcome is what the Sample stage hands the Estimator: the raw
@@ -62,6 +65,12 @@ func (s Sampler) Sample(c *thread.Ctx, k Kernel, pol Policy, lo, hi int) SampleO
 	// BU_1 should reflect the bus the kernel will actually run on).
 	csCtr := c.TeamCounter(thread.CtrCSCycles)
 	busCtr := m.Ctrs.Counter(counters.BusBusyCycles)
+	// Memory-port stalls are machine-global like the bus counter
+	// (stall PMU events are per-core but training runs one thread, so
+	// a single-tenant run's deltas are its own; a co-runner's stalls
+	// bleed in, which only matters to the DVFS compute/memory split).
+	ldCtr := m.Ctrs.Counter(counters.LoadStallCycles)
+	stCtr := m.Ctrs.Counter(counters.StoreStallCycles)
 
 	var out SampleOutcome
 	var ratios []float64
@@ -73,15 +82,19 @@ func (s Sampler) Sample(c *thread.Ctx, k Kernel, pol Policy, lo, hi int) SampleO
 		t0 := c.CPU.CycleCount()
 		cs0 := csCtr.Sample()
 		b0 := busCtr.Sample()
+		ld0 := ldCtr.Sample()
+		st0 := stCtr.Sample()
 		k.RunChunk(c, 1, lo+iter, lo+iter+1)
 		iter++
 		dt := c.CPU.CycleCount() - t0
 		dcs := csCtr.DeltaSince(cs0)
 		db := busCtr.DeltaSince(b0)
+		dms := ldCtr.DeltaSince(ld0) + stCtr.DeltaSince(st0)
 		out.Train.TotalCycles += dt
 		out.Train.CSCycles += dcs
 		out.Train.BusBusyCycles += db
-		out.Samples = append(out.Samples, IterSample{Cycles: dt, CS: dcs, BusBusy: db})
+		out.Train.MemStallCycles += dms
+		out.Samples = append(out.Samples, IterSample{Cycles: dt, CS: dcs, BusBusy: db, MemStall: dms})
 
 		if !satDone {
 			ratios = append(ratios, csRatio(dt, dcs))

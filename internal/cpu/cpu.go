@@ -25,6 +25,17 @@ type CPU struct {
 	// width, so compute slows by that factor.
 	load func() int
 
+	// fscale, when set, reports the core's current cycle-time
+	// multiplier as an exact rational (nominal MHz / current MHz):
+	// compute work is dilated by num/den while memory timing stays
+	// wall-clock-anchored. Nil — the default — is the fixed-frequency
+	// machine, with zero overhead on the compute path. facc carries
+	// the division remainder between calls so dilation loses no
+	// cycles to rounding (Σ dilated == Σ exact·num/den, truncated
+	// once at the end rather than per call).
+	fscale func() (num, den uint64)
+	facc   uint64
+
 	// led, when set, charges every cycle the CPU advances to the
 	// context's conservation ledger: compute to Busy, memory-access
 	// stalls to Stall. Nil is the disabled harness.
@@ -68,6 +79,25 @@ func (c *CPU) Instret() uint64 { return c.instret }
 // field). A nil probe — the default — models a dedicated core.
 func (c *CPU) SetContention(load func() int) { c.load = load }
 
+// SetFreqScale installs the DVFS cycle-time probe (see the fscale
+// field). A nil probe — the default — models a fixed-frequency core.
+func (c *CPU) SetFreqScale(f func() (num, den uint64)) { c.fscale = f }
+
+// dilate converts d nominal compute cycles into wall cycles at the
+// core's current frequency, carrying the remainder across calls.
+func (c *CPU) dilate(d uint64) uint64 {
+	if c.fscale == nil {
+		return d
+	}
+	num, den := c.fscale()
+	if num == den {
+		return d
+	}
+	t := d*num + c.facc
+	c.facc = t % den
+	return t / den
+}
+
 // SetLedger installs the context's conservation ledger (see the led
 // field). Nil — the default — disables the accounting.
 func (c *CPU) SetLedger(l *invariant.Ledger) { c.led = l }
@@ -93,7 +123,7 @@ func (c *CPU) Compute(cycles uint64) {
 		return
 	}
 	c.instret += cycles * c.width
-	d := cycles * c.slowdown()
+	d := c.dilate(cycles * c.slowdown())
 	c.proc.Advance(d)
 	if c.led != nil {
 		c.led.Busy += d
@@ -106,7 +136,7 @@ func (c *CPU) Exec(instrs uint64) {
 		return
 	}
 	c.instret += instrs
-	d := (instrs*c.slowdown() + c.width - 1) / c.width
+	d := c.dilate((instrs*c.slowdown() + c.width - 1) / c.width)
 	c.proc.Advance(d)
 	if c.led != nil {
 		c.led.Busy += d

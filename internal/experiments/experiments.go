@@ -36,6 +36,26 @@ type Options struct {
 	// stream. Sweep points complete on worker-pool goroutines, so the
 	// sink must be safe for concurrent use; Index orders events.
 	Progress ProgressFunc
+	// Power, when non-nil, runs every policy placement and sweep
+	// point under a power budget on Cfg's P-state ladder (the
+	// fdtsweep/fdtd budget plumbing). nil with a trivial ladder is
+	// the PR 9 path, byte-identical results and cache keys.
+	Power *core.PowerParams
+}
+
+// powerOn reports whether runs need the budget-aware entry points: an
+// explicit budget, or a non-trivial ladder on the machine (which by
+// itself arms the controller's (threads, frequency) search).
+func (o Options) powerOn() bool {
+	return o.Power != nil || !o.Cfg.Freq.Trivial()
+}
+
+// pp resolves the effective power parameters.
+func (o Options) pp() core.PowerParams {
+	if o.Power != nil {
+		return *o.Power
+	}
+	return core.DefaultPowerParams()
 }
 
 // ProgressFunc receives experiment progress events. Implementations
@@ -114,7 +134,12 @@ type Curve struct {
 // runNamed executes (or recalls) a registered workload under a policy
 // through the process-wide run cache, keyed by the workload name.
 func runNamed(o Options, name string, pol core.Policy) core.RunResult {
-	r := core.RunPolicyKeyedMode(o.Cfg, name, factory(name), pol, o.Mode)
+	var r core.RunResult
+	if o.powerOn() {
+		r = core.RunPolicyBudgetKeyedMode(o.Cfg, name, factory(name), pol, o.pp(), o.Mode)
+	} else {
+		r = core.RunPolicyKeyedMode(o.Cfg, name, factory(name), pol, o.Mode)
+	}
 	o.emit(ProgressEvent{Workload: name, Policy: r.Policy, Cycles: r.TotalCycles, Total: 1})
 	return r
 }
@@ -153,7 +178,11 @@ func sweepRuns(o Options, name string, ts []int) []core.RunResult {
 	f := factory(name)
 	out := make([]core.RunResult, len(ts))
 	runner.Map(len(ts), func(i int) {
-		out[i] = core.RunPolicyKeyedMode(o.Cfg, name, f, core.Static{N: ts[i]}, o.Mode)
+		if o.powerOn() {
+			out[i] = core.RunPolicyBudgetKeyedMode(o.Cfg, name, f, core.Static{N: ts[i]}, o.pp(), o.Mode)
+		} else {
+			out[i] = core.RunPolicyKeyedMode(o.Cfg, name, f, core.Static{N: ts[i]}, o.Mode)
+		}
 		o.emit(ProgressEvent{
 			Workload: name, Policy: out[i].Policy, Threads: ts[i],
 			Cycles: out[i].TotalCycles, Index: i, Total: len(ts),

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"fdt/internal/core"
+	"fdt/internal/machine"
+	"fdt/internal/workloads"
+)
+
+// TestRunIdentityPR9 pins the default single-frequency pipeline
+// bit-identical to the pre-DVFS release (satellite 1's execution
+// half): testdata/identity_ctrs_pr9.txt was captured from the
+// unmodified PR 9 tree, and a machine with no P-state ladder must
+// reproduce every decision, cycle count, power figure and raw counter
+// byte-for-byte. Any diff means the DVFS plumbing leaked into the
+// default path.
+func TestRunIdentityPR9(t *testing.T) {
+	data, err := os.ReadFile("../../testdata/identity_ctrs_pr9.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	var got []string
+	for _, name := range []string{"pagemine", "ed"} {
+		for _, pol := range []core.Policy{core.Static{}, core.Combined{}} {
+			info, ok := workloads.ByName(name)
+			if !ok {
+				t.Fatalf("workload %q not registered", name)
+			}
+			cfg := machine.DefaultConfig().WithCores(8)
+			m := machine.MustNew(cfg)
+			ctl := core.NewController(pol)
+			res := ctl.Run(m, info.Factory(m))
+			got = append(got,
+				fmt.Sprintf("%s/%s cycles=%d power=%.6f bus=%d", name, res.Policy,
+					res.TotalCycles, res.AvgActiveCores, res.BusBusyCycles),
+				fmt.Sprintf("%s/%s ctrs=%s", name, res.Policy, m.Ctrs))
+			// The DVFS-only report fields must stay at their zero
+			// values, so the JSON encoding (all omitempty) is unchanged.
+			if res.Energy != nil {
+				t.Errorf("%s/%s: Energy set on a single-frequency run", name, res.Policy)
+			}
+			for _, k := range res.Kernels {
+				if k.Decision.FreqIndex != 0 || k.Decision.Freq != "" || k.Decision.PredPower != 0 {
+					t.Errorf("%s/%s kernel %s: DVFS decision fields set: %+v",
+						name, res.Policy, k.Kernel, k.Decision)
+				}
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("line count drifted: got %d, golden file has %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("run identity drifted from PR 9 at line %d:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}

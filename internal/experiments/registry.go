@@ -37,6 +37,7 @@ func Registry(o Options) []RegistryEntry {
 			return f.String(), f.CSV(), f
 		}},
 		{"gauntlet", func() (string, string, any) { g := RunGauntlet(o); return g.String(), g.CSV(), g }},
+		{"pareto", func() (string, string, any) { p := RunPareto(o); return p.String(), p.CSV(), p }},
 		{"ablations", func() (string, string, any) {
 			as := RunAblations(o)
 			var texts, csvs []string

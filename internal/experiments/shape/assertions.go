@@ -356,6 +356,96 @@ func Assertions() []Assertion {
 			},
 		},
 		{
+			Name:  "pareto-dvfs-dominates-fixed",
+			Claim: "At every tested budget at or below 75% of unconstrained peak power, on every charted workload, FDT+DVFS finishes no later than fixed-frequency FDT — the frequency dimension only ever enlarges the feasible set, and the model-trust margin returns the fixed-frequency decision outright when no lower state clearly wins (Pareto frontier).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				p := experiments.RunPareto(o)
+				for _, fr := range p.Frontiers {
+					for _, r := range fr.Rows {
+						if r.BudgetFrac > 0.75 {
+							continue
+						}
+						if r.DVFS.Cycles > r.Fixed.Cycles {
+							return fmt.Errorf("%s at budget %.2f: FDT+DVFS %d cycles > FDT@nominal %d — the co-search lost to its own restriction",
+								fr.Workload, r.BudgetFrac, r.DVFS.Cycles, r.Fixed.Cycles)
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "pareto-dvfs-strict-win",
+			Claim: "At the tightest budget (35% of peak), trading frequency for threads wins outright where the model says it should: FDT+DVFS beats fixed-frequency FDT by at least 10% on both the bandwidth-limited (ed) and scalable (mg) workloads (Pareto frontier).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				p := experiments.RunPareto(o)
+				for _, name := range []string{"ed", "mg"} {
+					fr, ok := p.Frontier(name)
+					if !ok {
+						return fmt.Errorf("pareto: no %s frontier", name)
+					}
+					r := fr.Rows[len(fr.Rows)-1]
+					if r.BudgetFrac != 0.35 {
+						return fmt.Errorf("%s: tightest charted budget is %.2f, want 0.35", name, r.BudgetFrac)
+					}
+					if float64(r.DVFS.Cycles) > 0.9*float64(r.Fixed.Cycles) {
+						return fmt.Errorf("%s at budget 0.35: FDT+DVFS %d vs FDT@nominal %d cycles — no material win from the frequency dimension",
+							name, r.DVFS.Cycles, r.Fixed.Cycles)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "pareto-budget-respected",
+			Claim: "Every charted point's measured average chip power — FDT+DVFS, fixed-frequency FDT, and the static oracle, at every budget level — stays within the declared 2% slack of its budget (the same bound the power-budget-compliance invariant enforces in-run) (Pareto frontier).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				p := experiments.RunPareto(o)
+				for _, fr := range p.Frontiers {
+					for _, r := range fr.Rows {
+						for _, pt := range []experiments.ParetoPoint{r.DVFS, r.Fixed, r.Oracle} {
+							if pt.Cycles == 0 {
+								return fmt.Errorf("%s at budget %.2f: %s point missing", fr.Workload, r.BudgetFrac, pt.Policy)
+							}
+							if pt.AvgPower > r.Budget*1.02 {
+								return fmt.Errorf("%s at budget %.2f: %s drew %.3f average power, budget %.3f (+2%% slack)",
+									fr.Workload, r.BudgetFrac, pt.Policy, pt.AvgPower, r.Budget)
+							}
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:  "pareto-frontier-monotone",
+			Claim: "Loosening the budget never hurts: the static oracle's time is exactly non-increasing in the budget (a superset feasible set), and the FDT+DVFS and fixed-frequency points are non-increasing within a 15% training-and-model-noise band (Pareto frontier).",
+			Heavy: true,
+			Check: func(o experiments.Options) error {
+				p := experiments.RunPareto(o)
+				for _, fr := range p.Frontiers {
+					// Rows are ordered by descending budget.
+					for i := 1; i < len(fr.Rows); i++ {
+						hi, lo := fr.Rows[i-1], fr.Rows[i]
+						if hi.Oracle.Cycles > lo.Oracle.Cycles {
+							return fmt.Errorf("%s: oracle took %d cycles at budget %.2f but %d at tighter %.2f — a feasible point was missed",
+								fr.Workload, hi.Oracle.Cycles, hi.BudgetFrac, lo.Oracle.Cycles, lo.BudgetFrac)
+						}
+						for _, pair := range [][2]experiments.ParetoPoint{{hi.DVFS, lo.DVFS}, {hi.Fixed, lo.Fixed}} {
+							if float64(pair[0].Cycles) > 1.15*float64(pair[1].Cycles) {
+								return fmt.Errorf("%s: %s took %d cycles at budget %.2f, over 1.15x its %d at tighter %.2f",
+									fr.Workload, pair[0].Policy, pair[0].Cycles, hi.BudgetFrac, pair[1].Cycles, lo.BudgetFrac)
+							}
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
 			Name:  "corun-mapping-matters",
 			Claim: "Thread-to-core mapping is a first-order knob for co-scheduling: packed and scattered mappings of the same pagemine+mg pair differ in makespan by at least 10%.",
 			Check: func(o experiments.Options) error {

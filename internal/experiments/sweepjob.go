@@ -83,16 +83,29 @@ func runPolicyJob(o Options, workload, pname string) (core.RunResult, error) {
 	f := factory(workload)
 	switch strings.ToLower(strings.TrimSpace(pname)) {
 	case "adaptive":
+		if o.powerOn() {
+			return core.RunAdaptiveBudgetKeyed(o.Cfg, workload, f, core.Combined{},
+				core.DefaultMonitorParams(), o.pp()), nil
+		}
 		return core.RunAdaptiveKeyedMode(o.Cfg, workload, f, core.Combined{},
 			core.DefaultMonitorParams(), o.Mode), nil
 	case "hillclimb", "hill-climb":
+		if o.powerOn() {
+			return core.RunResult{}, fmt.Errorf("policy %q does not support a power budget or P-state ladder (its probes time real chunks at nominal frequency)", pname)
+		}
 		return core.RunHillClimbKeyed(o.Cfg, workload, f, core.HillClimb{}), nil
 	case "hybrid":
+		if o.powerOn() {
+			return core.RunResult{}, fmt.Errorf("policy %q does not support a power budget or P-state ladder (its probes time real chunks at nominal frequency)", pname)
+		}
 		return core.RunHybridKeyed(o.Cfg, workload, f, core.Hybrid{}), nil
 	default:
 		pol, err := PolicyByName(pname)
 		if err != nil {
 			return core.RunResult{}, err
+		}
+		if o.powerOn() {
+			return core.RunPolicyBudgetKeyedMode(o.Cfg, workload, f, pol, o.pp(), o.Mode), nil
 		}
 		return core.RunPolicyKeyedMode(o.Cfg, workload, f, pol, o.Mode), nil
 	}

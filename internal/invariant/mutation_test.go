@@ -156,3 +156,72 @@ func TestMutationTeamLedgerFoldSkew(t *testing.T) {
 		t.Fatalf("team fold skew not caught by team-conservation; checker: %s", ck.Report())
 	}
 }
+
+// powerMutationRun builds a checker-armed machine with the default
+// P-state ladder, lets mutate install a fault on its power meter,
+// runs the workload through the full DVFS pipeline under pp, and
+// returns the checker. The power invariants only arm on tracked
+// (ladder) meters, so these mutations must run on a DVFS machine.
+func powerMutationRun(t *testing.T, workload string, pol core.Policy, pp core.PowerParams, mutate func(m *machine.Machine)) *invariant.Checker {
+	t.Helper()
+	info, ok := workloads.ByName(workload)
+	if !ok {
+		t.Fatalf("unknown workload %q", workload)
+	}
+	cfg := machine.DefaultConfig().WithCores(8).WithFreq(machine.DefaultLadder())
+	m := machine.MustNew(cfg)
+	ck := invariant.New()
+	m.AttachChecker(ck)
+	if mutate != nil {
+		mutate(m)
+	}
+	ctl := core.NewController(pol)
+	ctl.Power = &pp
+	ctl.Run(m, info.Factory(m))
+	return ck
+}
+
+// TestMutationPowerTableSkew inflates the meter's active-power
+// accounting by 5% while the machine config's ladder rows stay
+// correct — the "energy model drifted from the hardware table"
+// regression a power-model refactor can introduce silently, because
+// every relative comparison still looks plausible. The independent
+// re-derivation of Σ state-residency × table power must name it.
+func TestMutationPowerTableSkew(t *testing.T) {
+	pp := core.PowerParams{Budget: 0, LockState: -1}
+	control := powerMutationRun(t, "pagemine", core.Combined{}, pp, nil)
+	if err := control.Err(); err != nil {
+		t.Fatalf("control run not clean: %v", err)
+	}
+
+	ck := powerMutationRun(t, "pagemine", core.Combined{}, pp, func(m *machine.Machine) {
+		m.Power.FaultTableSkew(0.05)
+	})
+	if !ck.Violated("power-energy-conservation") {
+		t.Fatalf("power table skew not caught by power-energy-conservation; checker: %s", ck.Report())
+	}
+}
+
+// TestMutationDropPStateTransition makes the meter forget to close
+// the outgoing state's wall interval on a P-state transition — the
+// residency bookkeeping bug of a DVFS driver that switches frequency
+// without flushing accounting. The run must transition mid-execution
+// for the fault to lose residency (a transition at cycle 0 drops a
+// zero-length interval), so it uses a tight budget with the full
+// search: training raises the chip to nominal, the budgeted decision
+// drops it to a lower state, every kernel. The per-core residency
+// partition must name the loss.
+func TestMutationDropPStateTransition(t *testing.T) {
+	pp := core.PowerParams{Budget: 5, LockState: -1}
+	control := powerMutationRun(t, "ed", core.Combined{}, pp, nil)
+	if err := control.Err(); err != nil {
+		t.Fatalf("control run not clean: %v", err)
+	}
+
+	ck := powerMutationRun(t, "ed", core.Combined{}, pp, func(m *machine.Machine) {
+		m.Power.FaultDropTransition()
+	})
+	if !ck.Violated("power-state-residency") {
+		t.Fatalf("dropped P-state transition not caught by power-state-residency; checker: %s", ck.Report())
+	}
+}

@@ -1,0 +1,53 @@
+package invariant_test
+
+import (
+	"testing"
+
+	"fdt/internal/core"
+	"fdt/internal/invariant"
+	"fdt/internal/machine"
+	"fdt/internal/workloads"
+)
+
+// TestPowerInvariantMatrix runs the power/energy invariants across the
+// full workload × policy matrix on a DVFS machine: every Table-2
+// workload under static-all and the combined FDT policy, with the
+// budget-constrained search engaged, must finish with the residency
+// partition, energy re-derivation and budget-compliance rules all
+// clean. This is the blanket guarantee behind the Pareto experiments:
+// whatever (threads, frequency) point the search picks, the energy it
+// reports is exactly Σ state-residency × table power.
+func TestPowerInvariantMatrix(t *testing.T) {
+	all := workloads.All()
+	if testing.Short() {
+		all = all[:4]
+	}
+	pols := []core.Policy{core.Static{}, core.Combined{}}
+	pps := []core.PowerParams{
+		{Budget: 0, LockState: -1}, // unconstrained full-ladder search
+		{Budget: 5, LockState: -1}, // tight budget on 8 cores (peak 8)
+	}
+	for _, info := range all {
+		for _, pol := range pols {
+			for _, pp := range pps {
+				cfg := machine.DefaultConfig().WithCores(8).WithFreq(machine.DefaultLadder())
+				m := machine.MustNew(cfg)
+				ck := invariant.New()
+				m.AttachChecker(ck)
+				ctl := core.NewController(pol)
+				ctl.Power = &pp
+				res := ctl.Run(m, info.Factory(m))
+				if err := ck.Err(); err != nil {
+					t.Errorf("%s/%s budget=%g: %v", info.Name, pol.Name(), pp.Budget, err)
+				}
+				if res.Energy == nil {
+					t.Fatalf("%s/%s: no energy report on a ladder machine", info.Name, pol.Name())
+				}
+				if pp.Budget > 0 && res.Energy.AvgPower > pp.Budget*1.02 {
+					t.Errorf("%s/%s: average power %.4f exceeds budget %g",
+						info.Name, pol.Name(), res.Energy.AvgPower, pp.Budget)
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fdt/internal/mem"
+	"fdt/internal/power"
 	"fdt/internal/sim"
 )
 
@@ -24,6 +25,13 @@ type Checkpoint struct {
 	Now      uint64
 	Counters map[string]uint64
 	Power    []uint64
+	// PowerStates carries a tracked (P-state ladder) meter's
+	// per-state residencies and per-core state registers; nil on
+	// single-frequency machines, whose meter state is Power alone.
+	PowerStates *power.Snapshot
+	// CoreFreq is each core's P-state at the checkpoint (nil on
+	// trivial ladders).
+	CoreFreq []int
 	Mem      *mem.State
 	// Teams captures the tenant partition: each team's identity,
 	// context ownership, private counter file and accumulated
@@ -48,10 +56,14 @@ type TeamCheckpoint struct {
 // simulation processes live.
 func (m *Machine) Checkpoint() *Checkpoint {
 	cp := &Checkpoint{
-		Now:      m.Eng.Now(),
-		Counters: m.Ctrs.Checkpoint(),
-		Power:    m.Power.PerCore(),
-		Mem:      m.Mem.Checkpoint(),
+		Now:         m.Eng.Now(),
+		Counters:    m.Ctrs.Checkpoint(),
+		Power:       m.Power.PerCore(),
+		PowerStates: m.Power.Snapshot(),
+		Mem:         m.Mem.Checkpoint(),
+	}
+	if m.coreFreq != nil {
+		cp.CoreFreq = append([]int(nil), m.coreFreq...)
 	}
 	for _, t := range m.teams {
 		cp.Teams = append(cp.Teams, TeamCheckpoint{
@@ -74,6 +86,10 @@ func (m *Machine) RestoreCheckpoint(cp *Checkpoint) {
 	m.Eng = sim.NewEngineAt(cp.Now)
 	m.Ctrs.Restore(cp.Counters)
 	m.Power.Restore(cp.Power)
+	m.Power.RestoreSnapshot(cp.PowerStates)
+	if m.coreFreq != nil && cp.CoreFreq != nil {
+		copy(m.coreFreq, cp.CoreFreq)
+	}
 	m.Mem.Restore(cp.Mem)
 	m.teams = nil
 	for i := range m.ctxTeam {

@@ -32,6 +32,10 @@ type Config struct {
 	// their core's issue width and private caches, and a core is
 	// active (for the power metric) while any of its contexts is.
 	SMTContexts int
+	// Freq is the per-core P-state ladder (see freq.go). The zero
+	// value — no states — is the single-frequency machine of the
+	// paper, bit-identical to pre-DVFS releases.
+	Freq FreqConfig
 }
 
 // DefaultConfig returns the paper's 32-core machine.
@@ -107,6 +111,11 @@ type Machine struct {
 	// tests: ReleaseContext under-folds this many busy cycles into the
 	// owning team's ledger, which "team-conservation" must catch.
 	faultTeamFoldSkew uint64
+	// coreFreq tracks each core's current P-state (nil on trivial
+	// ladders); powerBudget, when set, arms the end-of-run
+	// budget-compliance invariant.
+	coreFreq    []int
+	powerBudget float64
 }
 
 // New builds a machine.
@@ -122,7 +131,10 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.SMTContexts < 1 || cfg.SMTContexts > 4 {
 		return nil, fmt.Errorf("machine: SMTContexts = %d, want 1..4", cfg.SMTContexts)
 	}
-	return &Machine{
+	if err := cfg.Freq.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
 		Cfg:       cfg,
 		Eng:       sim.NewEngine(),
 		Mem:       ms,
@@ -133,7 +145,16 @@ func New(cfg Config) (*Machine, error) {
 		coreSince: make([]uint64, cfg.Mem.Cores),
 		ctxTeam:   make([]*Team, cfg.Mem.Cores*cfg.SMTContexts),
 		ctxSince:  make([]uint64, cfg.Mem.Cores*cfg.SMTContexts),
-	}, nil
+	}
+	if !cfg.Freq.Trivial() {
+		mt, err := power.NewMeterTable(cfg.Mem.Cores, cfg.Freq.Table())
+		if err != nil {
+			return nil, err
+		}
+		m.Power = mt
+		m.coreFreq = make([]int, cfg.Mem.Cores)
+	}
+	return m, nil
 }
 
 // MustNew is New for known-good configurations.
@@ -201,7 +222,107 @@ func (m *Machine) FinishCheck() {
 	if m.Check.Enabled() {
 		m.Mem.FinishCheck(m.Eng.Now())
 		m.checkTeams()
+		m.checkPower()
 	}
+}
+
+// powerBudgetSlack is the relative slack "power-budget-compliance"
+// allows over the declared budget: decision-point transitions and the
+// single-threaded training prefix execute outside the steady budgeted
+// regime, so end-of-run average power may overshoot marginally.
+const powerBudgetSlack = 0.02
+
+// checkPower verifies the end-of-run energy-accounting invariants of
+// a tracked (P-state ladder) machine:
+//
+//   - "power-state-residency": per core, the per-state wall
+//     residencies partition the run exactly — they sum to the sealed
+//     window, and no state's active residency exceeds its wall
+//     residency. A dropped P-state transition loses residency here.
+//   - "power-energy-conservation": the meter's reported energy equals
+//     an independent re-derivation of Σ state-residency × table power
+//     from the raw residencies and the machine config's own ladder
+//     rows. A skewed power table in the meter's accounting lands here.
+//   - "power-budget-compliance": when a budget was declared
+//     (SetPowerBudget), average chip power over the run stays within
+//     budget × (1 + slack).
+func (m *Machine) checkPower() {
+	if !m.Power.Tracked() {
+		return
+	}
+	now := m.Eng.Now()
+	m.Power.Seal(now)
+	active := m.Power.ActiveByState()
+	wall := m.Power.WallByState()
+
+	for c := 0; c < m.Cores(); c++ {
+		var sum uint64
+		for s := range wall[c] {
+			sum += wall[c][s]
+			m.Check.Pass(1)
+			if active[c][s] > wall[c][s] {
+				m.Check.Failf("power-state-residency", now,
+					"core %d state %d: active residency %d exceeds wall residency %d",
+					c, s, active[c][s], wall[c][s])
+			}
+		}
+		m.Check.Pass(1)
+		if sum != now {
+			m.Check.Failf("power-state-residency", now,
+				"core %d: state wall residencies sum to %d != run window %d (a P-state transition was dropped?)",
+				c, sum, now)
+		}
+	}
+
+	// Re-derive energy from the raw residencies and the config's
+	// ladder — deliberately not via the meter's table, so an
+	// accounting bug in the meter (skewed rows) cannot agree with
+	// itself.
+	var want float64
+	for s, st := range m.Cfg.Freq.States {
+		var act, wl uint64
+		for c := 0; c < m.Cores(); c++ {
+			act += active[c][s]
+			wl += wall[c][s]
+		}
+		idle := uint64(0)
+		if wl > act {
+			idle = wl - act
+		}
+		want += float64(act)*st.Active + float64(idle)*st.Idle
+	}
+	got := m.Power.Energy(now)
+	m.Check.Pass(1)
+	if !closeRel(got.Total, want, 1e-9) {
+		m.Check.Failf("power-energy-conservation", now,
+			"reported energy %.6f != Σ state-residency × table power %.6f", got.Total, want)
+	}
+
+	if m.powerBudget > 0 {
+		m.Check.Pass(1)
+		if got.AvgPower > m.powerBudget*(1+powerBudgetSlack) {
+			m.Check.Failf("power-budget-compliance", now,
+				"average chip power %.4f exceeds budget %.4f (+%.0f%% slack)",
+				got.AvgPower, m.powerBudget, 100*powerBudgetSlack)
+		}
+	}
+}
+
+// closeRel reports near-equality under relative tolerance (absolute
+// near zero).
+func closeRel(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if b > a {
+		scale = b
+	}
+	if scale < 1 {
+		return d <= tol
+	}
+	return d <= tol*scale
 }
 
 // FaultTeamFoldSkew arms a deliberate fault for the mutation tests:

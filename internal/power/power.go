@@ -11,15 +11,216 @@ package power
 
 import "fmt"
 
-// Meter integrates active-core time per core.
+// Meter integrates active-core time per core. A meter built with
+// NewMeter is the paper's flat metric exactly; NewMeterTable
+// additionally tracks per-(core, P-state) residencies against a power
+// table (see table.go), from which Energy derives a table-driven
+// energy accounting.
 type Meter struct {
 	perCore []uint64
 	cores   int
+
+	// Tracked-mode state (all nil/zero on a flat meter).
+	table         []Row
+	activeByState [][]uint64
+	wallByState   [][]uint64
+	state         []int
+	stateSince    []uint64
+
+	// Fault knobs for the mutation tests: faultTableSkew multiplies
+	// the table's Active rows inside Energy's accounting (a "skewed
+	// power table" bug the energy-conservation invariant must catch);
+	// faultDropTransition makes SetState lose the closing of the
+	// outgoing state's residency interval (a "dropped P-state
+	// transition" the state-residency invariant must catch).
+	faultTableSkew      float64
+	faultDropTransition bool
 }
 
 // NewMeter returns a meter for a machine with the given core count.
 func NewMeter(cores int) *Meter {
 	return &Meter{perCore: make([]uint64, cores), cores: cores}
+}
+
+// NewMeterTable returns a meter tracking residencies against a
+// validated power table. Every core starts in state 0 (nominal).
+func NewMeterTable(cores int, t Table) (*Meter, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	m := NewMeter(cores)
+	m.table = append([]Row(nil), t.Rows...)
+	m.activeByState = make([][]uint64, cores)
+	m.wallByState = make([][]uint64, cores)
+	m.state = make([]int, cores)
+	m.stateSince = make([]uint64, cores)
+	for c := 0; c < cores; c++ {
+		m.activeByState[c] = make([]uint64, len(t.Rows))
+		m.wallByState[c] = make([]uint64, len(t.Rows))
+	}
+	return m, nil
+}
+
+// Tracked reports whether the meter tracks per-state residencies
+// (built by NewMeterTable).
+func (m *Meter) Tracked() bool { return m.table != nil }
+
+// Table reports the tracked meter's power table (nil rows when flat).
+func (m *Meter) Table() Table { return Table{Rows: append([]Row(nil), m.table...)} }
+
+// States reports the number of P-states tracked (0 when flat).
+func (m *Meter) States() int { return len(m.table) }
+
+// State reports a core's current P-state (0 when flat).
+func (m *Meter) State(core int) int {
+	if m.state == nil {
+		return 0
+	}
+	return m.state[core]
+}
+
+// SetState moves a core to a new P-state at cycle now, closing the
+// outgoing state's wall-residency interval. The caller (the machine)
+// must flush any open active interval on the core first, so active
+// residency never spans a transition. No-op on flat meters and on
+// transitions to the current state.
+func (m *Meter) SetState(core, state int, now uint64) {
+	if m.table == nil {
+		if state == 0 {
+			return
+		}
+		panic(fmt.Sprintf("power: SetState(%d) on a flat meter", state))
+	}
+	if state < 0 || state >= len(m.table) {
+		panic(fmt.Sprintf("power: state %d out of range [0,%d)", state, len(m.table)))
+	}
+	cur := m.state[core]
+	if state == cur {
+		return
+	}
+	if now < m.stateSince[core] {
+		panic(fmt.Sprintf("power: SetState at %d before core %d state start %d", now, core, m.stateSince[core]))
+	}
+	if !m.faultDropTransition {
+		m.wallByState[core][cur] += now - m.stateSince[core]
+	}
+	m.stateSince[core] = now
+	m.state[core] = state
+}
+
+// Seal closes every core's open wall-residency interval at cycle now,
+// making the per-state residencies complete over [0, now). Idempotent
+// and monotone: sealing again at the same or a later time extends the
+// current state's residency, so end-of-run checks and reports may
+// both seal. No-op on flat meters.
+func (m *Meter) Seal(now uint64) {
+	if m.table == nil {
+		return
+	}
+	for c := 0; c < m.cores; c++ {
+		if now < m.stateSince[c] {
+			panic(fmt.Sprintf("power: Seal at %d before core %d state start %d", now, c, m.stateSince[c]))
+		}
+		m.wallByState[c][m.state[c]] += now - m.stateSince[c]
+		m.stateSince[c] = now
+	}
+}
+
+// ActiveByState reports per-core, per-state active-cycle residencies
+// (a deep copy; nil on flat meters).
+func (m *Meter) ActiveByState() [][]uint64 { return copy2d(m.activeByState) }
+
+// WallByState reports per-core, per-state wall-cycle residencies as
+// of the last Seal (a deep copy; nil on flat meters).
+func (m *Meter) WallByState() [][]uint64 { return copy2d(m.wallByState) }
+
+func copy2d(src [][]uint64) [][]uint64 {
+	if src == nil {
+		return nil
+	}
+	out := make([][]uint64, len(src))
+	for i, row := range src {
+		out[i] = append([]uint64(nil), row...)
+	}
+	return out
+}
+
+// Energy seals the meter at window and reports the table-driven
+// energy accounting: for every state, active residency times the
+// row's Active power plus idle (wall minus active) residency times
+// its Idle power. Only meaningful on tracked meters; a flat meter
+// reports the flat-table equivalence (Total == ActiveCoreCycles).
+func (m *Meter) Energy(window uint64) Energy {
+	if m.table == nil {
+		total := float64(m.ActiveCoreCycles())
+		e := Energy{Total: total, Window: window}
+		if window > 0 {
+			e.AvgPower = total / float64(window)
+		}
+		return e
+	}
+	m.Seal(window)
+	e := Energy{Window: window, States: make([]StateEnergy, len(m.table))}
+	for s, r := range m.table {
+		active := r.Active
+		if m.faultTableSkew != 0 {
+			active *= 1 + m.faultTableSkew
+		}
+		se := StateEnergy{Name: r.Name}
+		for c := 0; c < m.cores; c++ {
+			se.ActiveCycles += m.activeByState[c][s]
+			se.WallCycles += m.wallByState[c][s]
+		}
+		idle := uint64(0)
+		if se.WallCycles > se.ActiveCycles {
+			idle = se.WallCycles - se.ActiveCycles
+		}
+		se.Energy = float64(se.ActiveCycles)*active + float64(idle)*r.Idle
+		e.Total += se.Energy
+		e.States[s] = se
+	}
+	if window > 0 {
+		e.AvgPower = e.Total / float64(window)
+	}
+	return e
+}
+
+// FaultTableSkew arms a deliberate energy-accounting fault for the
+// mutation tests: Energy computes with Active rows scaled by (1+f).
+func (m *Meter) FaultTableSkew(f float64) { m.faultTableSkew = f }
+
+// FaultDropTransition arms a deliberate residency-accounting fault
+// for the mutation tests: SetState forgets to close the outgoing
+// state's wall interval, losing residency.
+func (m *Meter) FaultDropTransition() { m.faultDropTransition = true }
+
+// Snapshot captures the tracked meter's residency state for a machine
+// checkpoint; nil on flat meters (whose whole state is PerCore).
+func (m *Meter) Snapshot() *Snapshot {
+	if m.table == nil {
+		return nil
+	}
+	return &Snapshot{
+		ActiveByState: copy2d(m.activeByState),
+		WallByState:   copy2d(m.wallByState),
+		State:         append([]int(nil), m.state...),
+		StateSince:    append([]uint64(nil), m.stateSince...),
+	}
+}
+
+// RestoreSnapshot overwrites the tracked residency state from a
+// checkpoint taken on a meter with an identical table.
+func (m *Meter) RestoreSnapshot(s *Snapshot) {
+	if s == nil || m.table == nil {
+		return
+	}
+	if len(s.State) != m.cores {
+		panic(fmt.Sprintf("power: restoring %d-core snapshot into a %d-core meter", len(s.State), m.cores))
+	}
+	m.activeByState = copy2d(s.ActiveByState)
+	m.wallByState = copy2d(s.WallByState)
+	m.state = append([]int(nil), s.State...)
+	m.stateSince = append([]uint64(nil), s.StateSince...)
 }
 
 // Cores reports the number of cores metered.
@@ -37,6 +238,9 @@ func (m *Meter) AddActive(core int, from, to uint64) {
 		panic(fmt.Sprintf("power: negative interval [%d,%d) on core %d", from, to, core))
 	}
 	m.perCore[core] += to - from
+	if m.activeByState != nil {
+		m.activeByState[core][m.state[core]] += to - from
+	}
 }
 
 // AddActiveCycles credits core with cycles of activity without an
@@ -48,6 +252,9 @@ func (m *Meter) AddActiveCycles(core int, cycles uint64) {
 		panic(fmt.Sprintf("power: core %d out of range [0,%d)", core, m.cores))
 	}
 	m.perCore[core] += cycles
+	if m.activeByState != nil {
+		m.activeByState[core][m.state[core]] += cycles
+	}
 }
 
 // Restore overwrites the per-core integrals from a checkpoint. The
@@ -84,9 +291,18 @@ func (m *Meter) AverageActiveCores(window uint64) float64 {
 	return float64(m.ActiveCoreCycles()) / float64(window)
 }
 
-// Reset clears all accumulated activity.
+// Reset clears all accumulated activity (and, on tracked meters, all
+// state residencies; cores return to the nominal state at cycle 0).
 func (m *Meter) Reset() {
 	for i := range m.perCore {
 		m.perCore[i] = 0
+	}
+	for c := range m.activeByState {
+		for s := range m.activeByState[c] {
+			m.activeByState[c][s] = 0
+			m.wallByState[c][s] = 0
+		}
+		m.state[c] = 0
+		m.stateSince[c] = 0
 	}
 }

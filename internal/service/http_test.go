@@ -300,3 +300,78 @@ func TestStatsEndpointShape(t *testing.T) {
 		t.Errorf("runner workers = %d", st.RunnerWorkers)
 	}
 }
+
+func TestHTTPPowerSpecValidation(t *testing.T) {
+	resetCache(t)
+	s := New(Config{Workers: 1})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Malformed budgets and ladders -> 400 before any simulation.
+	for _, body := range []string{
+		`{"workload":"ed","threads":[1],"power_budget":-2}`,
+		`{"workload":"ed","threads":[1],"freq_ladder_mhz":[800,1600]}`,
+		`{"workload":"ed","threads":[1],"freq_ladder_mhz":[2000,2000]}`,
+		`{"workload":"ed","threads":[1],"freq_ladder_mhz":[2000,-1]}`,
+		`{"workload":"ed","power_budget":5,"policies":["hillclimb"]}`,
+		`{"workload":"ed","power_budget":5,"policies":["hybrid"]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPPowerSweepJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulated sweep")
+	}
+	resetCache(t)
+	s := New(Config{Workers: 1})
+	defer drain(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, resp := postJob(t, ts, Spec{
+		Workload: "ed", Threads: []int{4}, Policies: []string{"sat+bat"},
+		Cores: 16, PowerBudget: 5.6,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	final := pollDone(t, ts, v.ID)
+	var res struct {
+		Sweep []struct {
+			Energy *struct {
+				Total    float64 `json:"Total"`
+				AvgPower float64 `json:"AvgPower"`
+			} `json:",omitempty"`
+		} `json:"sweep"`
+		Policies []struct {
+			Kernels []struct {
+				Decision struct {
+					Freq string `json:"Freq"`
+				} `json:"Decision"`
+			} `json:"Kernels"`
+		} `json:"policies"`
+	}
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sweep) != 1 || res.Sweep[0].Energy == nil || res.Sweep[0].Energy.Total <= 0 {
+		t.Errorf("budgeted sweep point carries no energy accounting: %s", final.Result[:min(len(final.Result), 400)])
+	}
+	if len(res.Policies) != 1 || len(res.Policies[0].Kernels) == 0 ||
+		!strings.HasPrefix(res.Policies[0].Kernels[0].Decision.Freq, "f") {
+		t.Error("budgeted policy decision carries no P-state name")
+	}
+	if st := getStats(t, ts); st.SimEnergyTotal <= 0 {
+		t.Errorf("stats sim_energy_total = %g, want > 0", st.SimEnergyTotal)
+	}
+}

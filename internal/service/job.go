@@ -3,6 +3,7 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,6 +39,13 @@ type Spec struct {
 	Bandwidth float64 `json:"bandwidth,omitempty"`
 	// Mode is "exact" (default) or "sampled".
 	Mode string `json:"mode,omitempty"`
+	// PowerBudget caps average chip power in nominal-active-core
+	// units (0 = unconstrained). A positive budget with no explicit
+	// ladder implies the default four-state ladder.
+	PowerBudget float64 `json:"power_budget,omitempty"`
+	// FreqLadderMHz is the P-state ladder as a strictly descending
+	// MHz list, nominal first (empty = single-frequency machine).
+	FreqLadderMHz []int `json:"freq_ladder_mhz,omitempty"`
 }
 
 const (
@@ -77,6 +85,9 @@ func (s *Spec) normalize() error {
 	default:
 		return fmt.Errorf("bad mode %q (want exact or sampled)", s.Mode)
 	}
+	if _, err := s.freq(); err != nil {
+		return err
+	}
 	for _, n := range s.Threads {
 		if n < 1 || n > s.Cores*machine.DefaultConfig().SMTContexts {
 			return fmt.Errorf("bad thread count %d for %d cores", n, s.Cores)
@@ -97,6 +108,12 @@ func (s *Spec) normalize() error {
 			if !experiments.ValidPolicyName(p) {
 				return fmt.Errorf("unknown policy %q", p)
 			}
+			if s.dvfs() {
+				switch strings.ToLower(strings.TrimSpace(p)) {
+				case "hillclimb", "hill-climb", "hybrid":
+					return fmt.Errorf("policy %q does not support a power budget or P-state ladder (its probes time real chunks at nominal frequency)", p)
+				}
+			}
 		}
 	case KindExperiment:
 		if s.Workload != "" || len(s.Policies) != 0 {
@@ -111,6 +128,28 @@ func (s *Spec) normalize() error {
 	return nil
 }
 
+// dvfs reports whether the spec asks for the power-aware path at
+// all; false keeps jobs on the bit-identical single-frequency path.
+func (s Spec) dvfs() bool { return s.PowerBudget > 0 || len(s.FreqLadderMHz) > 0 }
+
+// freq resolves the spec's (budget, ladder) pair, mirroring the
+// CLIs' machine.ResolveDVFS: the budget must be non-negative, the
+// MHz list must form a valid ladder, and a positive budget with no
+// explicit ladder implies the default ladder.
+func (s Spec) freq() (machine.FreqConfig, error) {
+	if s.PowerBudget < 0 {
+		return machine.FreqConfig{}, fmt.Errorf("bad power budget %g (want >= 0; 0 = unconstrained)", s.PowerBudget)
+	}
+	fc, err := machine.LadderFromMHz(s.FreqLadderMHz)
+	if err != nil {
+		return machine.FreqConfig{}, err
+	}
+	if s.PowerBudget > 0 && fc.Trivial() {
+		fc = machine.DefaultLadder()
+	}
+	return fc, nil
+}
+
 // options builds the experiment options a job executes under.
 func (s Spec) options() experiments.Options {
 	o := experiments.Options{
@@ -121,6 +160,13 @@ func (s Spec) options() experiments.Options {
 	}
 	if s.Kind == KindExperiment && len(s.Threads) > 0 {
 		o.SweepThreads = s.Threads
+	}
+	if s.dvfs() {
+		fc, err := s.freq() // validated by normalize
+		if err == nil {
+			o.Cfg = o.Cfg.WithFreq(fc)
+			o.Power = &core.PowerParams{Budget: s.PowerBudget, LockState: -1}
+		}
 	}
 	return o
 }

@@ -213,6 +213,12 @@ type Stats struct {
 	StoreBytes    int64        `json:"store_bytes,omitempty"`
 
 	RunnerWorkers int `json:"runner_workers"`
+
+	// SimEnergyTotal is the process-wide simulated energy, in
+	// core-cycle units, summed over every uncached run: table-driven
+	// Energy.Total on laddered machines, active core-cycles on the
+	// flat path.
+	SimEnergyTotal float64 `json:"sim_energy_total"`
 }
 
 // Stats snapshots the service and cache counters.
@@ -233,6 +239,7 @@ func (s *Service) Stats() Stats {
 		CacheBytes:     bytes,
 		CacheEvictions: evictions,
 		RunnerWorkers:  runner.Workers(),
+		SimEnergyTotal: core.SimEnergyTotal(),
 	}
 	if rs := core.RunStore(); rs != nil {
 		st.StoreAttached = true

@@ -151,6 +151,9 @@ func newCtx(m *machine.Machine, team *machine.Team, id, size, slot int, p *sim.P
 	if m.Cfg.SMTContexts > 1 {
 		c.SetContention(func() int { return m.CoreLoad(core) })
 	}
+	if !m.Cfg.Freq.Trivial() {
+		c.SetFreqScale(func() (uint64, uint64) { return m.FreqScale(core) })
+	}
 	led := m.ContextLedger(hwCtx)
 	c.SetLedger(led)
 	return &Ctx{ID: id, Size: size, CPU: c, m: m, team: team, led: led}
